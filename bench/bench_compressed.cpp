@@ -1,0 +1,91 @@
+// Ablation: compressed grid versus two-grid storage (Sec. 1.3).
+//
+// "The benefit of using 'compressed grid' is that only one grid is
+// necessary, saving nearly half the memory and lessening the bandwidth
+// requirements."  This bench quantifies the memory saving on real
+// allocations, the modeled memory-traffic reduction and the simulated
+// performance effect, and cross-checks numerical equality of the two
+// schemes on the host.
+#include <cstdio>
+
+#include "core/compressed.hpp"
+#include "core/reference.hpp"
+#include "core/solver.hpp"
+#include "sim/node_sim.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tb::core;
+
+PipelineConfig pipe_cfg(GridScheme scheme) {
+  PipelineConfig pc;
+  pc.teams = 1;
+  pc.team_size = 4;
+  pc.steps_per_thread = 2;
+  pc.block = {120, 20, 20};
+  pc.scheme = scheme;
+  return pc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 600));
+  const std::array<int, 3> grid{n, n, n};
+
+  std::printf("=== Ablation: compressed grid vs two-grid (%d^3) ===\n\n", n);
+
+  // Memory footprint: two grids of n^3 vs one grid of (n + S)^3.
+  const PipelineConfig cc = pipe_cfg(GridScheme::kCompressed);
+  const int S = cc.levels_per_sweep();
+  const double two_grid_mib =
+      2.0 * n * n * n * sizeof(double) / (1 << 20);
+  const double comp_mib = 1.0 * (n + S) * (n + S) * (n + S) *
+                          sizeof(double) / (1 << 20);
+
+  tb::sim::SimMachine socket;
+  socket.spec = tb::topo::nehalem_ep_socket();
+  const auto r2 =
+      tb::sim::simulate_pipeline(socket, pipe_cfg(GridScheme::kTwoGrid),
+                                 grid, 1);
+  const auto rc = tb::sim::simulate_pipeline(socket, cc, grid, 1);
+
+  tb::util::TableWriter t({"metric", "two-grid", "compressed", "ratio"});
+  t.add("storage [MiB]", two_grid_mib, comp_mib, comp_mib / two_grid_mib);
+  t.add("memory traffic/sweep [B/cell]", r2.mem_bytes / (1.0 * n * n * n),
+        rc.mem_bytes / (1.0 * n * n * n),
+        rc.mem_bytes / std::max(1.0, r2.mem_bytes));
+  t.add("simulated socket MLUP/s", r2.mlups, rc.mlups,
+        rc.mlups / r2.mlups);
+  t.print();
+  t.write_csv("compressed_ablation.csv");
+
+  // Numerical cross-check on the host (small grid): both schemes must
+  // produce bit-identical results.
+  const int m = 24;
+  Grid3 initial(m, m, m);
+  fill_test_pattern(initial);
+  PipelineConfig small2 = pipe_cfg(GridScheme::kTwoGrid);
+  small2.team_size = 2;
+  small2.block = {8, 6, 6};
+  PipelineConfig smallc = small2;
+  smallc.scheme = GridScheme::kCompressed;
+
+  SolverConfig s2;
+  s2.variant = Variant::kPipelined;
+  s2.pipeline = small2;
+  SolverConfig sc;
+  sc.variant = Variant::kPipelined;
+  sc.pipeline = smallc;
+  JacobiSolver a(s2, initial), b(sc, initial);
+  const int steps = 2 * small2.levels_per_sweep();
+  a.advance(steps);
+  b.advance(steps);
+  const double diff = max_abs_diff(a.solution(), b.solution());
+  std::printf("\ncross-check: max |two-grid - compressed| after %d steps = %g %s\n",
+              steps, diff, diff == 0.0 ? "(bit-identical)" : "(MISMATCH!)");
+  return diff == 0.0 ? 0 : 1;
+}

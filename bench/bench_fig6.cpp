@@ -1,0 +1,141 @@
+// Fig. 6: distributed-memory strong and weak scaling of the standard and
+// the pipelined (relaxed-sync) Jacobi on 1..64 nodes of the modeled
+// Nehalem EP + QDR-IB cluster.
+//
+// Series: standard Jacobi at 1 and 8 processes per node (PPN), pipelined
+// at 1 and 2 PPN; strong scaling at 600^3 total and weak scaling at 600^3
+// per process; ideal-scaling references.
+//
+// Per-process compute rates come from the discrete-event node simulator
+// (same engine as Fig. 3); communication epochs follow the Sec. 2.1 model
+// with ghost cell expansion, NIC sharing and pack overhead ("copying halo
+// data ... causes about the same overhead as the actual data transfer").
+#include <cstdio>
+
+#include "perfmodel/cluster_model.hpp"
+#include "sim/node_sim.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Series {
+  const char* name;
+  int ppn;
+  int halo;          // levels per exchange epoch
+  double proc_lups;  // per-process compute rate
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 600));
+  const std::array<int, 3> grid{n, n, n};
+
+  // --- per-process rates from the node simulator -----------------------
+  tb::sim::SimMachine socket;
+  socket.spec = tb::topo::nehalem_ep_socket();
+  tb::sim::SimMachine node;
+
+  const double std_core =
+      tb::sim::simulate_standard(socket, grid, 4, 2).mlups / 4.0;  // 8PPN
+  const double std_node =
+      tb::sim::simulate_standard(node, grid, 8, 2).mlups;  // 1PPN (vector)
+
+  tb::core::PipelineConfig pipe_sock;
+  pipe_sock.teams = 1;
+  pipe_sock.team_size = 4;
+  pipe_sock.steps_per_thread = 2;
+  pipe_sock.block = {120, 20, 20};
+  const double pipe_socket_lups =
+      tb::sim::simulate_pipeline(socket, pipe_sock, grid, 1,
+                                 tb::topo::PagePlacement::kFirstTouch)
+          .mlups;
+
+  tb::core::PipelineConfig pipe_node = pipe_sock;
+  pipe_node.teams = 2;
+  const double pipe_node_lups =
+      tb::sim::simulate_pipeline(node, pipe_node, grid, 1,
+                                 tb::topo::PagePlacement::kRoundRobin)
+          .mlups;
+
+  const Series series[] = {
+      {"Standard 1PPN", 1, 1, std_node * 1e6},
+      {"Standard 8PPN", 8, 1, std_core * 1e6},
+      {"Pipelined 1PPN", 1, pipe_node.levels_per_sweep(),
+       pipe_node_lups * 1e6},
+      {"Pipelined 2PPN", 2, pipe_sock.levels_per_sweep(),
+       pipe_socket_lups * 1e6},
+  };
+
+  std::printf("=== Fig. 6 inputs: per-process rates (node simulator) ===\n");
+  tb::util::TableWriter inputs({"series", "h", "proc MLUP/s"});
+  for (const Series& s : series)
+    inputs.add(s.name, s.halo, s.proc_lups / 1e6);
+  inputs.print();
+
+  const tb::perfmodel::ClusterParams params;  // QDR-IB + shm + pack=1
+  const int node_counts[] = {1, 8, 27, 64};
+
+  for (const bool weak : {false, true}) {
+    std::printf("\n=== Fig. 6: %s scaling, %d^3 %s ===\n",
+                weak ? "weak" : "strong", n,
+                weak ? "per process" : "total");
+    tb::util::TableWriter t({"nodes", "Std 1PPN", "Std 8PPN", "Pipe 1PPN",
+                             "Pipe 2PPN", "Ideal std", "Ideal pipe"});
+    for (int nodes : node_counts) {
+      std::vector<std::string> row{std::to_string(nodes)};
+      for (const Series& s : series) {
+        tb::perfmodel::ClusterRun run;
+        run.nodes = nodes;
+        run.ppn = s.ppn;
+        run.grid = n;
+        run.weak = weak;
+        run.halo = s.halo;
+        run.proc_lups = s.proc_lups;
+        const auto res = tb::perfmodel::evaluate_cluster(run, params);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2f", res.glups);
+        row.emplace_back(buf);
+      }
+      // Ideal references: per-node single-node performance x nodes.
+      const double ideal_std = nodes * 8.0 * std_core / 1e3;
+      const double ideal_pipe = nodes * 2.0 * pipe_socket_lups / 1e3;
+      char b1[32], b2[32];
+      std::snprintf(b1, sizeof b1, "%.2f", ideal_std);
+      std::snprintf(b2, sizeof b2, "%.2f", ideal_pipe);
+      row.emplace_back(b1);
+      row.emplace_back(b2);
+      t.add_row(std::move(row));
+    }
+    t.print();
+    t.write_csv(weak ? "fig6_weak.csv" : "fig6_strong.csv");
+  }
+
+  std::printf(
+      "\npaper anchors: hybrid-vector (1PPN) standard clearly inferior;\n"
+      "strong scaling communication-dominated at large node counts (the\n"
+      "temporal blocking benefit is not maintained); weak scaling keeps\n"
+      "~80%% of the pipelined speedup at 2PPN.\n");
+
+  // Quantify the headline claim: fraction of the shared-memory pipelined
+  // speedup retained under weak scaling at 64 nodes, 2PPN vs 8PPN std.
+  {
+    tb::perfmodel::ClusterRun pipe_run{64, 2, static_cast<double>(n), true,
+                                       pipe_sock.levels_per_sweep(),
+                                       pipe_socket_lups * 1e6};
+    tb::perfmodel::ClusterRun std_run{64, 8, static_cast<double>(n), true, 1,
+                                      std_core * 1e6};
+    const double pipe_g = tb::perfmodel::evaluate_cluster(pipe_run, params).glups;
+    const double std_g = tb::perfmodel::evaluate_cluster(std_run, params).glups;
+    const double shared_mem_speedup = 2.0 * pipe_socket_lups / (8.0 * std_core);
+    const double dist_speedup = pipe_g / std_g;
+    std::printf(
+        "\nweak scaling @64 nodes: pipelined/standard = %.3f; shared-memory\n"
+        "speedup = %.3f; retained fraction = %.0f %% (paper: ~80 %%)\n",
+        dist_speedup, shared_mem_speedup,
+        100.0 * dist_speedup / shared_mem_speedup);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Real-host microbenchmarks (google-benchmark) of the solver kernels.
+//
+// These numbers are wall-clock measurements on *this* machine — they
+// validate that the implementation runs and show relative kernel costs;
+// the paper-figure numbers come from the simulator benches (see
+// DESIGN.md's hardware-substitution table).  Grids are deliberately small
+// so the suite stays fast on a 1-core CI VM.
+#include <benchmark/benchmark.h>
+
+#include "core/baseline.hpp"
+#include "core/compressed.hpp"
+#include "core/reference.hpp"
+#include "core/solver.hpp"
+
+namespace {
+
+using namespace tb::core;
+
+void BM_JacobiRow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Grid3 src(n + 2, 3, 3), dst(n + 2, 3, 3);
+  fill_test_pattern(src);
+  dst.fill(0.0);
+  for (auto _ : state) {
+    jacobi_row(dst.row(1, 1), src.row(1, 1), src.row(0, 1), src.row(2, 1),
+               src.row(1, 0), src.row(1, 2), 1, n + 1);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JacobiRow)->Arg(16)->Arg(120)->Arg(600)->Arg(4096);
+
+void BM_JacobiRowNontemporal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Grid3 src(n + 2, 3, 3), dst(n + 2, 3, 3);
+  fill_test_pattern(src);
+  dst.fill(0.0);
+  for (auto _ : state) {
+    jacobi_row_nt(dst.row(1, 1), src.row(1, 1), src.row(0, 1), src.row(2, 1),
+                  src.row(1, 0), src.row(1, 2), 1, n + 1);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JacobiRowNontemporal)->Arg(120)->Arg(600)->Arg(4096);
+
+void BM_ReferenceSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Grid3 a(n, n, n), b(n, n, n);
+  fill_test_pattern(a);
+  copy_boundary(a, b);
+  for (auto _ : state) {
+    reference_sweep(a, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_ReferenceSweep)->Arg(64)->Arg(96);
+
+void BM_BaselineSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool nt = state.range(1) != 0;
+  Grid3 a(n, n, n), b(n, n, n);
+  fill_test_pattern(a);
+  copy_boundary(a, b);
+  BaselineConfig cfg;
+  cfg.threads = 1;
+  cfg.block = {n, 16, 16};
+  cfg.nontemporal = nt;
+  BaselineJacobi solver(cfg, n, n, n);
+  for (auto _ : state) {
+    solver.run(a, b, 2);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * (n - 2) * (n - 2) *
+                          (n - 2));
+  state.SetLabel(nt ? "nontemporal" : "regular");
+}
+BENCHMARK(BM_BaselineSweep)->Args({96, 0})->Args({96, 1});
+
+void BM_PipelinedSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Grid3 a(n, n, n), b(n, n, n);
+  fill_test_pattern(a);
+  copy_boundary(a, b);
+  PipelineConfig pc;
+  pc.teams = 1;
+  pc.team_size = threads;
+  pc.steps_per_thread = 2;
+  pc.block = {n, 8, 8};
+  pc.du = 3;
+  PipelinedJacobi solver(pc, n, n, n);
+  for (auto _ : state) {
+    solver.run(a, b, 1);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * pc.levels_per_sweep() *
+                          (n - 2) * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_PipelinedSweep)->Args({64, 1})->Args({64, 2})->Args({64, 4});
+
+void BM_CompressedSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Grid3 a(n, n, n);
+  fill_test_pattern(a);
+  PipelineConfig pc;
+  pc.teams = 1;
+  pc.team_size = 2;
+  pc.steps_per_thread = 2;
+  pc.block = {n, 8, 8};
+  pc.du = 3;
+  pc.scheme = GridScheme::kCompressed;
+  CompressedJacobi solver(pc, n, n, n);
+  solver.load(a);
+  for (auto _ : state) {
+    solver.run(2);  // forward + backward sweep
+    benchmark::DoNotOptimize(solver.margin());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * pc.levels_per_sweep() *
+                          (n - 2) * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_CompressedSweep)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Real-host microbenchmarks of the synchronization primitives.
+//
+// The paper motivates relaxed synchronization with barrier costs of
+// "hundreds if not thousands of cycles".  This bench measures, on the
+// host: one std::barrier round-trip across k threads, one relaxed-sync
+// counter publish/observe handshake, and a full clearance round.
+#include <benchmark/benchmark.h>
+
+#include <barrier>
+#include <thread>
+
+#include "core/sync.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace tb::core;
+
+void BM_BarrierRound(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int rounds = 64;
+  tb::util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::barrier barrier(threads);
+    pool.run([&](int) {
+      for (int r = 0; r < rounds; ++r) barrier.arrive_and_wait();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_BarrierRound)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CounterPublish(benchmark::State& state) {
+  ProgressCounters counters(2);
+  long long c = 0;
+  for (auto _ : state) {
+    counters.publish(0, ++c);
+    benchmark::DoNotOptimize(counters.load(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterPublish);
+
+void BM_RelaxedHandshake(benchmark::State& state) {
+  // Producer/consumer pair: thread 1 may proceed once thread 0 publishes.
+  const int rounds = 256;
+  tb::util::ThreadPool pool(2);
+  for (auto _ : state) {
+    ProgressCounters counters(2);
+    auto bounds = make_distance_bounds(1, 2, 1, 1 << 20, 0);
+    pool.run([&](int p) {
+      for (long long c = 0; c < rounds; ++c) {
+        wait_for_clearance(counters, bounds, p, c, rounds);
+        counters.publish(p, c + 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_RelaxedHandshake);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Heterogeneous-diffusion example: steady-state temperature of a composite
+// block (insulating matrix with conductive fibers) solved with the
+// variable-coefficient stencil on the pipelined temporal-blocking engine.
+//
+//   $ ./composite_material [--n 48] [--steps 600] [--kfiber 100]
+//                          [--vtk out.vtk]
+//
+// Demonstrates that the paper's scheme is not Jacobi-specific: any update
+// reading only the 3^3 neighborhood of the previous level runs through
+// the same team pipeline (see core/varcoef.hpp).
+#include <cstdio>
+
+#include "core/grid_io.hpp"
+#include "core/norms.hpp"
+#include "core/varcoef.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// kappa field: background 1, an array of conductive square fibers
+/// running along x.
+tb::core::Grid3 fiber_material(int n, double k_fiber) {
+  tb::core::Grid3 kappa(n, n, n);
+  kappa.fill(1.0);
+  const int pitch = std::max(4, n / 4);
+  const int width = std::max(1, pitch / 3);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      if (j % pitch < width && k % pitch < width)
+        for (int i = 0; i < n; ++i) kappa.at(i, j, k) = k_fiber;
+  return kappa;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 48));
+  const double k_fiber = args.get_double("kfiber", 100.0);
+  const int steps_requested = static_cast<int>(args.get_int("steps", 600));
+
+  // Hot x = 0 face, cold everywhere else.
+  tb::core::Grid3 initial(n, n, n);
+  initial.fill(0.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) initial.at(0, j, k) = 1.0;
+
+  tb::core::PipelineConfig pc;
+  pc.teams = 1;
+  pc.team_size = static_cast<int>(args.get_int("t", 2));
+  pc.steps_per_thread = 2;
+  pc.block = {n, 12, 12};
+  pc.du = 3;
+  const int sweeps = std::max(1, steps_requested / pc.levels_per_sweep());
+
+  tb::core::PipelinedVarCoef solver(
+      pc, tb::core::DiffusionCoefficients(fiber_material(n, k_fiber)));
+  tb::core::Grid3 a = initial.clone(), b = initial.clone();
+
+  tb::util::Timer timer;
+  const tb::core::RunStats st = solver.run(a, b, sweeps);
+  const tb::core::Grid3& u = solver.result(a, b, sweeps);
+
+  std::printf(
+      "composite block %d^3, fiber kappa %.0f, %d steps: %.3f s, "
+      "%.1f MLUP/s (host)\n",
+      n, k_fiber, st.levels, timer.elapsed(), st.mlups());
+
+  // Heat penetrates much deeper along the fibers.  Probe a fiber away
+  // from the cold walls (fibers sit at multiples of the pitch) and a
+  // matrix point at a comparable distance from the walls.
+  const int deep = 3 * n / 4;
+  const int pitch = std::max(4, n / 4);
+  const int jf = (n / 2 / pitch) * pitch;            // mid-domain fiber
+  const double t_fiber = u.at(deep, jf, jf);
+  const double t_matrix =
+      u.at(deep, jf + pitch / 2, jf + pitch / 2);    // in the matrix
+  std::printf("temperature at x = %d: fiber %.4f vs matrix %.4f (x%.1f)\n",
+              deep, t_fiber, t_matrix,
+              t_matrix > 0 ? t_fiber / t_matrix : 0.0);
+
+  if (args.has("vtk")) {
+    const std::string path = args.get("vtk", "composite.vtk");
+    if (tb::core::write_vtk(u, path, "temperature"))
+      std::printf("wrote %s\n", path.c_str());
+  }
+  return t_fiber > t_matrix ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Quickstart: solve a 3-D boundary value problem with pipelined temporal
+// blocking in ~40 lines.
+//
+//   $ ./quickstart [--n 128] [--steps 64] [--teams 1] [--t 2] [--T 2]
+//
+// Sets up a cubic domain with a hot x=0 face, advances `steps` Jacobi
+// sweeps with the temporally blocked solver, and reports performance and
+// the center temperature.
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 128));
+  const int steps = static_cast<int>(args.get_int("steps", 64));
+
+  // Initial condition: zero interior, hot (T = 1) face at x = 0.
+  tb::core::Grid3 initial(n, n, n);
+  initial.fill(0.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) initial.at(0, j, k) = 1.0;
+
+  // Configure the solver: one team of t threads sharing a cache, each
+  // performing T in-cache updates per block (see README for tuning).
+  tb::core::SolverConfig cfg;
+  cfg.variant = tb::core::Variant::kPipelined;
+  cfg.pipeline.teams = static_cast<int>(args.get_int("teams", 1));
+  cfg.pipeline.team_size = static_cast<int>(args.get_int("t", 2));
+  cfg.pipeline.steps_per_thread = static_cast<int>(args.get_int("T", 2));
+  cfg.pipeline.block = {n, 16, 16};
+  cfg.pipeline.du = 4;
+
+  tb::core::JacobiSolver solver(cfg, initial);
+  const tb::core::RunStats stats = solver.advance(steps);
+
+  const tb::core::Grid3& u = solver.solution();
+  std::printf("grid %d^3, %d sweeps with %s\n", n, steps,
+              cfg.pipeline.describe().c_str());
+  std::printf("wall time      : %.3f s\n", stats.seconds);
+  std::printf("performance    : %.1f MLUP/s (host)\n", stats.mlups());
+  std::printf("center value   : %.6f\n", u.at(n / 2, n / 2, n / 2));
+  std::printf("near-hot value : %.6f\n", u.at(1, n / 2, n / 2));
+  return 0;
+}

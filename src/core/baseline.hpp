@@ -1,0 +1,59 @@
+// Standard (not temporally blocked) Jacobi solver — the paper's baseline.
+//
+// Sec. 1.1: two grids written in turn, spatial blocking with a long inner
+// loop (bx comparable to the page size is favorable for the hardware
+// prefetchers), optional non-temporal stores that bypass the cache
+// hierarchy and avoid the read-for-ownership, first-touch page placement,
+// and one thread per core with a static work distribution.
+//
+// With non-temporal stores the code balance drops from 8/6 to 3 words per
+// 6-flop update, so the memory-bandwidth expectation is
+// P0 = Ms / 16 bytes (Eq. (2)).
+#pragma once
+
+#include <memory>
+
+#include "core/grid.hpp"
+#include "core/pipeline.hpp"  // RunStats
+#include "topo/placement.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tb::core {
+
+/// Tuning parameters of the standard solver.
+struct BaselineConfig {
+  int threads = 1;
+  BlockSize block{600, 20, 20};  ///< spatial tiles; bx is the inner loop
+  bool nontemporal = true;       ///< bypass-cache streaming stores
+  topo::PagePlacement placement = topo::PagePlacement::kFirstTouch;
+};
+
+/// Spatially blocked multi-threaded Jacobi on two grids.
+class BaselineJacobi {
+ public:
+  BaselineJacobi(const BaselineConfig& cfg, int nx, int ny, int nz);
+
+  /// Runs `steps` sweeps; `a` holds the starting level (global index
+  /// `base_level`, even levels live in `a`).  Implicit barrier per sweep.
+  RunStats run(Grid3& a, Grid3& b, int steps, int base_level = 0);
+
+  /// Grid holding the final level.
+  [[nodiscard]] Grid3& result(Grid3& a, Grid3& b, int steps,
+                              int base_level = 0) const {
+    return (base_level + steps) % 2 == 0 ? a : b;
+  }
+
+  /// Applies the configured page placement policy to a grid's storage.
+  void place_pages(Grid3& g) const;
+
+  [[nodiscard]] const BaselineConfig& config() const { return cfg_; }
+
+ private:
+  void sweep(const Grid3& src, Grid3& dst);
+
+  BaselineConfig cfg_;
+  int nx_, ny_, nz_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace tb::core

@@ -1,0 +1,65 @@
+// Pipelined temporal blocking on a "compressed grid" (Sec. 1.3).
+//
+// Instead of two grids A/B, a single allocation holds the solution; every
+// update writes its result shifted by (-1,-1,-1) relative to the source
+// cell.  One team sweep of S = n*t*T levels therefore drifts the data
+// window by S cells toward the array origin; the next sweep shifts by
+// (+1,+1,+1) per level and drifts back, which requires reverse traversal
+// (descending indices) to stay race-free.  The allocation is (n+S)^3-ish:
+// only one grid plus an S-cell margin, saving nearly half the memory and
+// the corresponding write-allocate bandwidth.
+//
+// Dirichlet boundary cells are not recomputed but must shift with the data
+// window, so each level *copies* the boundary faces of its window — cheap
+// surface work compared to the volume update.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/grid.hpp"
+#include "core/pipeline.hpp"  // RunStats
+
+namespace tb::core {
+
+/// Single-grid (compressed) pipelined Jacobi solver.
+///
+/// Usage:
+///   CompressedJacobi solver(cfg, nx, ny, nz);
+///   solver.load(initial);       // level-0 data incl. boundary
+///   RunStats st = solver.run(sweeps);
+///   solver.store(result_out);   // final level
+class CompressedJacobi {
+ public:
+  CompressedJacobi(const PipelineConfig& cfg, int nx, int ny, int nz);
+
+  /// Copies a level-0 state (shape nx*ny*nz) into the working array.
+  void load(const Grid3& initial);
+
+  /// Runs `sweeps` team sweeps (alternating shift directions).
+  RunStats run(int sweeps);
+
+  /// Copies the current level out into `out` (shape nx*ny*nz).
+  void store(Grid3& out) const;
+
+  /// Current data offset: cell (i,j,k) lives at array (i+m, j+m, k+m).
+  [[nodiscard]] int margin() const { return margin_; }
+  [[nodiscard]] int levels_done() const { return levels_done_; }
+  [[nodiscard]] const PipelineConfig& config() const {
+    return engine_.config();
+  }
+  /// Bytes of the single working array (for memory-saving accounting).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return store_.size() * sizeof(double);
+  }
+
+ private:
+  void process_window(int level, const Box& w, bool forward, int m_start);
+
+  int nx_, ny_, nz_;
+  int shift_span_;  ///< S = levels per sweep = maximum drift
+  Grid3 store_;
+  int margin_;      ///< current offset of cell (0,0,0) in the array
+  int levels_done_ = 0;
+  PipelineEngine engine_;
+};
+
+}  // namespace tb::core

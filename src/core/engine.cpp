@@ -1,0 +1,91 @@
+#include "core/engine.hpp"
+
+namespace tb::core {
+
+namespace {
+
+/// Spatial offsets of each pipeline stage for barrier mode: stage p trails
+/// stage p-1 by one block, plus the team delay d_t ahead of team fronts.
+std::vector<long long> make_barrier_offsets(const PipelineConfig& cfg) {
+  std::vector<long long> off(static_cast<std::size_t>(cfg.total_threads()));
+  off[0] = 0;
+  for (int p = 1; p < cfg.total_threads(); ++p) {
+    const bool team_front = (p % cfg.team_size == 0);
+    off[static_cast<std::size_t>(p)] =
+        off[static_cast<std::size_t>(p - 1)] + 1 + (team_front ? cfg.dt : 0);
+  }
+  return off;
+}
+
+}  // namespace
+
+PipelineEngine::PipelineEngine(const PipelineConfig& cfg, BlockPlan plan)
+    : cfg_(cfg),
+      plan_(std::move(plan)),
+      pool_(cfg.total_threads()),
+      counters_(cfg.total_threads()),
+      bounds_(make_distance_bounds(cfg.teams, cfg.team_size, cfg.dl, cfg.du,
+                                   cfg.dt)),
+      barrier_offsets_(make_barrier_offsets(cfg)),
+      affinity_(topo::MachineSpec{}, cfg.teams, cfg.team_size) {
+  cfg_.validate();
+  if (plan_.levels() != cfg_.levels_per_sweep())
+    throw std::invalid_argument(
+        "PipelineEngine: plan levels != teams*team_size*steps_per_thread");
+}
+
+void PipelineEngine::process_block(int p, long long c, bool forward,
+                                   const ProcessFn& process) const {
+  const long long nb = plan_.num_blocks();
+  const long long block = forward ? c : nb - 1 - c;
+  const std::array<int, 3> b = plan_.decode(block);
+  const int first_level = p * cfg_.steps_per_thread + 1;
+  for (int u = 0; u < cfg_.steps_per_thread; ++u) {
+    const int level = first_level + u;
+    const Box w = plan_.window(b, level, forward);
+    if (!w.empty()) process(p, level, w);
+  }
+}
+
+void PipelineEngine::sweep_relaxed(bool forward, const ProcessFn& process) {
+  counters_.reset();
+  const long long nb = plan_.num_blocks();
+  pool_.run([&](int p) {
+    if (cfg_.pin_threads && !pin_attempted_)
+      topo::pin_current_thread(affinity_.core_of(p));
+    for (long long c = 0; c < nb; ++c) {
+      wait_for_clearance(counters_, bounds_, p, c, nb);
+      process_block(p, c, forward, process);
+      counters_.publish(p, c + 1);
+    }
+  });
+  pin_attempted_ = true;
+}
+
+void PipelineEngine::sweep_barrier(bool forward, const ProcessFn& process) {
+  const long long nb = plan_.num_blocks();
+  const long long max_offset = barrier_offsets_.back();
+  const long long steps = nb + max_offset;
+  std::barrier barrier(cfg_.total_threads());
+  pool_.run([&](int p) {
+    if (cfg_.pin_threads && !pin_attempted_)
+      topo::pin_current_thread(affinity_.core_of(p));
+    const long long off = barrier_offsets_[static_cast<std::size_t>(p)];
+    for (long long k = 0; k < steps; ++k) {
+      const long long c = k - off;
+      if (c >= 0 && c < nb) process_block(p, c, forward, process);
+      barrier.arrive_and_wait();
+    }
+  });
+  pin_attempted_ = true;
+}
+
+void PipelineEngine::run_sweep(bool forward, const ProcessFn& process) {
+  if (cfg_.sync == SyncMode::kRelaxed) {
+    sweep_relaxed(forward, process);
+  } else {
+    sweep_barrier(forward, process);
+  }
+}
+
+}  // namespace tb::core

@@ -1,0 +1,83 @@
+#include "core/grid_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace tb::core {
+
+namespace {
+
+struct Header {
+  char magic[8];
+  std::int32_t nx = 0, ny = 0, nz = 0, reserved = 0;
+};
+
+}  // namespace
+
+bool save_checkpoint(const Grid3& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  Header h;
+  std::memcpy(h.magic, kCheckpointMagic, sizeof h.magic);
+  h.nx = g.nx();
+  h.ny = g.ny();
+  h.nz = g.nz();
+  out.write(reinterpret_cast<const char*>(&h), sizeof h);
+  std::vector<double> row(static_cast<std::size_t>(g.nx()));
+  for (int k = 0; k < g.nz(); ++k)
+    for (int j = 0; j < g.ny(); ++j) {
+      std::memcpy(row.data(), g.row(j, k), row.size() * sizeof(double));
+      out.write(reinterpret_cast<const char*>(row.data()),
+                static_cast<std::streamsize>(row.size() * sizeof(double)));
+    }
+  return static_cast<bool>(out);
+}
+
+LoadResult load_checkpoint(const std::string& path) {
+  LoadResult res;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return res;
+  Header h;
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in || std::memcmp(h.magic, kCheckpointMagic, sizeof h.magic) != 0)
+    return res;
+  if (h.nx < 1 || h.ny < 1 || h.nz < 1) return res;
+  res.grid = Grid3(h.nx, h.ny, h.nz);
+  std::vector<double> row(static_cast<std::size_t>(h.nx));
+  for (int k = 0; k < h.nz; ++k)
+    for (int j = 0; j < h.ny; ++j) {
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(double)));
+      if (!in) return res;
+      std::memcpy(res.grid.row(j, k), row.data(),
+                  row.size() * sizeof(double));
+    }
+  res.ok = true;
+  return res;
+}
+
+bool write_vtk(const Grid3& g, const std::string& path,
+               const std::string& field) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# vtk DataFile Version 3.0\n"
+      << "temporal-blocking grid\n"
+      << "ASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << g.nx() << ' ' << g.ny() << ' ' << g.nz() << '\n'
+      << "ORIGIN 0 0 0\n"
+      << "SPACING 1 1 1\n"
+      << "POINT_DATA " << 1LL * g.nx() * g.ny() * g.nz() << '\n'
+      << "SCALARS " << field << " double 1\n"
+      << "LOOKUP_TABLE default\n";
+  for (int k = 0; k < g.nz(); ++k)
+    for (int j = 0; j < g.ny(); ++j) {
+      const double* row = g.row(j, k);
+      for (int i = 0; i < g.nx(); ++i) out << row[i] << '\n';
+    }
+  return static_cast<bool>(out);
+}
+
+}  // namespace tb::core

@@ -1,0 +1,35 @@
+// Grid persistence: binary checkpoints and legacy-VTK export.
+//
+// Checkpoints are exact (raw IEEE doubles + shape header) so a restarted
+// run continues bit-identically; VTK files target visualization tools
+// (ParaView, VisIt) for the examples.
+#pragma once
+
+#include <string>
+
+#include "core/grid.hpp"
+
+namespace tb::core {
+
+/// Magic header of the checkpoint format (version-checked on load).
+inline constexpr char kCheckpointMagic[8] = {'T', 'B', 'G', 'R',
+                                             'D', '0', '0', '1'};
+
+/// Writes `g` (payload only, no padding) to `path`.  Returns false on any
+/// I/O failure.
+bool save_checkpoint(const Grid3& g, const std::string& path);
+
+/// Reads a checkpoint written by save_checkpoint.  Returns an empty
+/// optional-like pair {ok, grid}; on failure `ok` is false.
+struct LoadResult {
+  bool ok = false;
+  Grid3 grid;
+};
+[[nodiscard]] LoadResult load_checkpoint(const std::string& path);
+
+/// Writes `g` as a legacy-VTK structured-points scalar field named
+/// `field`.  Returns false on I/O failure.
+bool write_vtk(const Grid3& g, const std::string& path,
+               const std::string& field = "u");
+
+}  // namespace tb::core

@@ -1,0 +1,148 @@
+// Innermost Jacobi row kernels.
+//
+// One stencil update (Eq. (1) of the paper):
+//   B[i,j,k] = 1/6 (A[i-1,j,k] + A[i+1,j,k] + A[i,j-1,k] + A[i,j+1,k]
+//                 + A[i,j,k-1] + A[i,j,k+1])
+//
+// All kernels operate on one x-row at a time; callers pass the six source
+// row pointers.  The pointers never alias each other even in the
+// compressed-grid (in-place, shifted) scheme, because the destination row
+// (j-1, k-1) is not among the source rows {(j,k), (j±1,k), (j,k±1)} —
+// hence the __restrict__ qualifiers are valid and the loops auto-vectorize.
+//
+// The reverse variants iterate descending i; they exist because compressed
+// grid sweeps that shift by (+1,+1,+1) overlap source and destination such
+// that only a descending traversal is race-free.  (The paper used SSE
+// intrinsics here because icc refused to vectorize backward loops; GCC
+// handles the plain loop.)
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace tb::core {
+
+inline constexpr double kSixth = 1.0 / 6.0;
+
+/// Forward Jacobi row update: dst[i] for i in [i0, i1).
+inline void jacobi_row(double* __restrict__ dst,
+                       const double* __restrict__ c,
+                       const double* __restrict__ jm,
+                       const double* __restrict__ jp,
+                       const double* __restrict__ km,
+                       const double* __restrict__ kp, int i0, int i1) {
+  for (int i = i0; i < i1; ++i) {
+    dst[i] = kSixth *
+             (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+  }
+}
+
+/// Reverse-order Jacobi row update (descending i), same arithmetic.
+inline void jacobi_row_reverse(double* __restrict__ dst,
+                               const double* __restrict__ c,
+                               const double* __restrict__ jm,
+                               const double* __restrict__ jp,
+                               const double* __restrict__ km,
+                               const double* __restrict__ kp, int i0,
+                               int i1) {
+  for (int i = i1 - 1; i >= i0; --i) {
+    dst[i] = kSixth *
+             (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+  }
+}
+
+/// Forward Jacobi row update writing with a -1 x-offset relative to the
+/// source index (compressed grid, odd sweeps): dst[i-1] <- stencil(src, i).
+inline void jacobi_row_shift_down(double* __restrict__ dst,
+                                  const double* __restrict__ c,
+                                  const double* __restrict__ jm,
+                                  const double* __restrict__ jp,
+                                  const double* __restrict__ km,
+                                  const double* __restrict__ kp, int i0,
+                                  int i1) {
+  for (int i = i0; i < i1; ++i) {
+    dst[i - 1] = kSixth *
+                 (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+  }
+}
+
+/// Reverse Jacobi row update writing with a +1 x-offset (compressed grid,
+/// even sweeps): dst[i+1] <- stencil(src, i), descending i.
+inline void jacobi_row_shift_up(double* __restrict__ dst,
+                                const double* __restrict__ c,
+                                const double* __restrict__ jm,
+                                const double* __restrict__ jp,
+                                const double* __restrict__ km,
+                                const double* __restrict__ kp, int i0,
+                                int i1) {
+  for (int i = i1 - 1; i >= i0; --i) {
+    dst[i + 1] = kSixth *
+                 (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+  }
+}
+
+/// Whether non-temporal (streaming) stores are available on this target.
+[[nodiscard]] constexpr bool nontemporal_supported() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Jacobi row update with non-temporal stores, bypassing the cache
+/// hierarchy and thereby avoiding the read-for-ownership on the write miss
+/// (Sec. 1.1).  Only useful for the *standard* (not temporally blocked)
+/// algorithm, where the result is not reused in cache.
+inline void jacobi_row_nt(double* __restrict__ dst,
+                          const double* __restrict__ c,
+                          const double* __restrict__ jm,
+                          const double* __restrict__ jp,
+                          const double* __restrict__ km,
+                          const double* __restrict__ kp, int i0, int i1) {
+#if defined(__SSE2__)
+  int i = i0;
+  // Scalar prologue up to 16-byte alignment of dst.
+  for (; i < i1 && (reinterpret_cast<std::uintptr_t>(dst + i) & 0xF) != 0; ++i)
+    dst[i] = kSixth * (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+  const __m128d sixth = _mm_set1_pd(kSixth);
+  for (; i + 2 <= i1; i += 2) {
+    __m128d acc = _mm_add_pd(_mm_loadu_pd(c + i - 1), _mm_loadu_pd(c + i + 1));
+    acc = _mm_add_pd(acc, _mm_loadu_pd(jm + i));
+    acc = _mm_add_pd(acc, _mm_loadu_pd(jp + i));
+    acc = _mm_add_pd(acc, _mm_loadu_pd(km + i));
+    acc = _mm_add_pd(acc, _mm_loadu_pd(kp + i));
+    _mm_stream_pd(dst + i, _mm_mul_pd(acc, sixth));
+  }
+  for (; i < i1; ++i)
+    dst[i] = kSixth * (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+#else
+  jacobi_row(dst, c, jm, jp, km, kp, i0, i1);
+#endif
+}
+
+/// Fence required after a sequence of non-temporal stores before other
+/// threads may read the data.
+inline void nontemporal_fence() {
+#if defined(__SSE2__)
+  _mm_sfence();
+#endif
+}
+
+/// Copies src[i0..i1) to dst with an x-offset (boundary propagation in the
+/// compressed-grid scheme, where even fixed boundary values must shift with
+/// the data window).  Deliberately NOT restrict-qualified: dst and src may
+/// be overlapping views of one allocation.
+inline void copy_row_offset(double* dst, const double* src, int i0, int i1,
+                            int offset) {
+  // memmove: in the compressed scheme dst and src can be overlapping views
+  // of the same allocation.
+  std::memmove(dst + i0 + offset, src + i0,
+               static_cast<std::size_t>(i1 - i0) * sizeof(double));
+}
+
+}  // namespace tb::core

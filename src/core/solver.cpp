@@ -1,0 +1,138 @@
+#include "core/solver.hpp"
+
+#include "core/reference.hpp"
+#include "util/timer.hpp"
+
+namespace tb::core {
+
+namespace {
+
+void copy_grid(const Grid3& src, Grid3& dst) {
+  for (int k = 0; k < src.nz(); ++k)
+    for (int j = 0; j < src.ny(); ++j)
+      for (int i = 0; i < src.nx(); ++i) dst.at(i, j, k) = src.at(i, j, k);
+}
+
+}  // namespace
+
+JacobiSolver::JacobiSolver(const SolverConfig& cfg, const Grid3& initial)
+    : cfg_(cfg),
+      nx_(initial.nx()),
+      ny_(initial.ny()),
+      nz_(initial.nz()),
+      a_(nx_, ny_, nz_),
+      b_(nx_, ny_, nz_),
+      out_(nx_, ny_, nz_) {
+  // Establish page placement before the first write of actual data.  The
+  // pipelined scheme defeats first-touch locality (every thread updates
+  // every block), so it uses round-robin interleaving; the baseline keeps
+  // classic first-touch (Sec. 1.3).
+  const topo::PagePlacement placement =
+      cfg.variant == Variant::kPipelined ? topo::PagePlacement::kRoundRobin
+                                         : cfg.baseline.placement;
+  const int touch_threads = cfg.variant == Variant::kPipelined
+                                ? cfg.pipeline.total_threads()
+                                : cfg.baseline.threads;
+  topo::touch_pages(a_.data(), a_.size(), placement, touch_threads);
+  topo::touch_pages(b_.data(), b_.size(), placement, touch_threads);
+
+  copy_grid(initial, a_);
+  copy_grid(initial, b_);  // boundary values must exist in both parities
+
+  switch (cfg.variant) {
+    case Variant::kReference:
+      break;
+    case Variant::kBaseline:
+      baseline_ = std::make_unique<BaselineJacobi>(cfg.baseline, nx_, ny_,
+                                                   nz_);
+      break;
+    case Variant::kPipelined: {
+      cfg_.pipeline.validate();
+      if (cfg.pipeline.scheme == GridScheme::kTwoGrid) {
+        pipelined_ =
+            std::make_unique<PipelinedJacobi>(cfg.pipeline, nx_, ny_, nz_);
+      } else {
+        compressed_ =
+            std::make_unique<CompressedJacobi>(cfg.pipeline, nx_, ny_, nz_);
+      }
+      // Remainder steps (not a multiple of n*t*T) run as baseline sweeps.
+      BaselineConfig rem = cfg.baseline;
+      rem.threads = cfg.pipeline.total_threads();
+      baseline_ = std::make_unique<BaselineJacobi>(rem, nx_, ny_, nz_);
+      break;
+    }
+  }
+}
+
+RunStats JacobiSolver::advance_baseline_steps(int steps) {
+  RunStats st = baseline_->run(a_, b_, steps, 0);
+  if (steps % 2 != 0) std::swap(a_, b_);
+  return st;
+}
+
+RunStats JacobiSolver::advance_two_grid_pipeline(int sweeps) {
+  RunStats st = pipelined_->run(a_, b_, sweeps, 0);
+  if ((sweeps * cfg_.pipeline.levels_per_sweep()) % 2 != 0)
+    std::swap(a_, b_);
+  return st;
+}
+
+RunStats JacobiSolver::advance(int steps) {
+  if (steps < 0) throw std::invalid_argument("advance: negative steps");
+  RunStats total;
+  if (steps == 0) return total;
+
+  switch (cfg_.variant) {
+    case Variant::kReference: {
+      util::Timer timer;
+      for (int s = 0; s < steps; ++s) {
+        reference_sweep(a_, b_);
+        std::swap(a_, b_);
+      }
+      total.seconds = timer.elapsed();
+      total.levels = steps;
+      total.cell_updates =
+          1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
+      break;
+    }
+    case Variant::kBaseline:
+      total = advance_baseline_steps(steps);
+      break;
+    case Variant::kPipelined: {
+      const int depth = cfg_.pipeline.levels_per_sweep();
+      const int sweeps = steps / depth;
+      const int remainder = steps % depth;
+      if (sweeps > 0) {
+        if (compressed_) {
+          compressed_->load(a_);
+          RunStats st = compressed_->run(sweeps);
+          compressed_->store(a_);
+          total.seconds += st.seconds;
+          total.cell_updates += st.cell_updates;
+          total.levels += st.levels;
+        } else {
+          RunStats st = advance_two_grid_pipeline(sweeps);
+          total.seconds += st.seconds;
+          total.cell_updates += st.cell_updates;
+          total.levels += st.levels;
+        }
+      }
+      if (remainder > 0) {
+        RunStats st = advance_baseline_steps(remainder);
+        total.seconds += st.seconds;
+        total.cell_updates += st.cell_updates;
+        total.levels += st.levels;
+      }
+      break;
+    }
+  }
+  levels_done_ += steps;
+  return total;
+}
+
+const Grid3& JacobiSolver::solution() {
+  copy_grid(a_, out_);
+  return out_;
+}
+
+}  // namespace tb::core

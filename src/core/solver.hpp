@@ -1,0 +1,76 @@
+// High-level facade: solve a 3-D Jacobi problem with any variant.
+//
+// JacobiSolver hides the grid bookkeeping (parities, compressed margins,
+// remainder steps that are not a multiple of the team-sweep depth) behind
+// a single run-to-N-steps call, which is what the examples and the
+// distributed solver build on.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/baseline.hpp"
+#include "core/compressed.hpp"
+#include "core/pipeline.hpp"
+
+namespace tb::core {
+
+/// Which algorithm variant to run.
+enum class Variant {
+  kReference,  ///< naive single-threaded sweeps (oracle)
+  kBaseline,   ///< standard spatially blocked multi-threaded Jacobi
+  kPipelined,  ///< pipelined temporal blocking (two-grid or compressed)
+};
+
+[[nodiscard]] constexpr const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kReference: return "reference";
+    case Variant::kBaseline: return "baseline";
+    case Variant::kPipelined: return "pipelined";
+  }
+  return "?";
+}
+
+/// Facade configuration: variant selector plus the per-variant tunables.
+struct SolverConfig {
+  Variant variant = Variant::kPipelined;
+  PipelineConfig pipeline{};
+  BaselineConfig baseline{};
+};
+
+/// Owns the working grids and advances them by arbitrary step counts.
+class JacobiSolver {
+ public:
+  /// `initial` supplies level-0 data including Dirichlet boundary faces.
+  JacobiSolver(const SolverConfig& cfg, const Grid3& initial);
+
+  /// Advances the solution by `steps` time levels and returns timing.
+  /// For the pipelined variant, whole team sweeps are used for
+  /// floor(steps / (n*t*T)) * (n*t*T) levels and the remainder falls back
+  /// to baseline sweeps (a real code must produce exactly the requested
+  /// number of levels, not a convenient multiple).
+  RunStats advance(int steps);
+
+  /// Read-only view of the current solution (copies out of the working
+  /// storage where necessary).
+  [[nodiscard]] const Grid3& solution();
+
+  [[nodiscard]] int levels_done() const { return levels_done_; }
+  [[nodiscard]] const SolverConfig& config() const { return cfg_; }
+
+ private:
+  RunStats advance_two_grid_pipeline(int steps);
+  RunStats advance_baseline_steps(int steps);
+
+  SolverConfig cfg_;
+  int nx_, ny_, nz_;
+  Grid3 a_, b_;
+  Grid3 out_;  // copy-out buffer for solution()
+  int levels_done_ = 0;
+
+  std::unique_ptr<BaselineJacobi> baseline_;
+  std::unique_ptr<PipelinedJacobi> pipelined_;
+  std::unique_ptr<CompressedJacobi> compressed_;
+};
+
+}  // namespace tb::core

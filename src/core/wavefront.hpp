@@ -1,0 +1,65 @@
+// Wavefront temporal blocking — the comparison method (Ref. [2],
+// Wellein et al., COMPSAC 2009).
+//
+// Where pipelined blocking tiles the domain into cache-sized 3-D blocks,
+// the wavefront method keeps whole xy-planes in flight: thread i updates
+// time level i+1 on plane z = k - 2i while the threads sweep z in lock
+// step (a barrier per plane step).  The 2-plane spacing prevents the
+// write-after-read hazard between levels sharing a grid parity.
+//
+// Its limitation — the reason the paper's pipelined scheme exists — is
+// that the working set is a fixed number of *full planes*: 2 grids x
+// (2t-1) planes must stay cache-resident.  For a 600^2 plane that is
+// ~2.9 MiB per plane and the shared L3 overflows already at t = 2, while
+// pipelined blocking can always shrink its blocks.  The wavefront variant
+// here is the clean two-grid formulation (no extra boundary copies); see
+// perfmodel/wavefront_model.hpp for the capacity analysis and
+// bench_wavefront for the comparison.
+#pragma once
+
+#include "core/grid.hpp"
+#include "core/pipeline.hpp"  // RunStats
+#include "util/thread_pool.hpp"
+
+namespace tb::core {
+
+/// Tuning parameters of the wavefront scheme.
+struct WavefrontConfig {
+  int threads = 4;  ///< wavefront depth = time levels per sweep
+  int by = 16;      ///< y tile inside a plane (inner-cache blocking)
+
+  void validate() const {
+    if (threads < 1)
+      throw std::invalid_argument("WavefrontConfig: threads < 1");
+    if (by < 1) throw std::invalid_argument("WavefrontConfig: by < 1");
+  }
+};
+
+/// Two-grid wavefront-parallel Jacobi (one update per thread per plane).
+class WavefrontJacobi {
+ public:
+  WavefrontJacobi(const WavefrontConfig& cfg, int nx, int ny, int nz);
+
+  /// Advances `sweeps * threads` time levels.  `a` holds the starting
+  /// level (global index `base_level`; even levels live in `a`).
+  RunStats run(Grid3& a, Grid3& b, int sweeps, int base_level = 0);
+
+  [[nodiscard]] Grid3& result(Grid3& a, Grid3& b, int sweeps,
+                              int base_level = 0) const {
+    return (base_level + sweeps * cfg_.threads) % 2 == 0 ? a : b;
+  }
+
+  [[nodiscard]] const WavefrontConfig& config() const { return cfg_; }
+  [[nodiscard]] int levels_per_sweep() const { return cfg_.threads; }
+
+  /// Cache-resident working set of the moving wavefront: both grids hold
+  /// 2t-1 active planes plus one plane of lookahead.
+  [[nodiscard]] std::size_t working_set_bytes() const;
+
+ private:
+  WavefrontConfig cfg_;
+  int nx_, ny_, nz_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace tb::core

@@ -1,0 +1,191 @@
+// D3Q19 lattice-Boltzmann substrate.
+//
+// The paper presents the Jacobi kernel as "a prototype for more advanced
+// stencil-based methods like the lattice-Boltzmann algorithm (LBM)" and
+// announces "a hybrid, temporally blocked lattice Boltzmann flow solver
+// based on the principles presented in this work" as under development
+// (Sec. 3).  This module is that extension: a D3Q19 BGK solver whose
+// stream-collide update runs through the same pipelined temporal blocking
+// engine as the Jacobi solver.
+//
+// Temporal blocking applies unchanged because one pull-scheme
+// stream-collide update of a cell reads only the 3^3 neighborhood of the
+// previous time level, and D3Q19 has no (±1,±1,±1) corner velocities —
+// every read lies strictly below the write in the skewed lexicographic
+// order, which is exactly the dependency structure the pipelined engine's
+// one-block distance rule guarantees (see core/blocks.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace tb::lbm {
+
+/// Number of discrete velocities.
+inline constexpr int kQ = 19;
+
+/// D3Q19 velocity set: rest, 6 axis vectors, 12 two-axis diagonals.
+/// Order: index 0 = rest; 1..6 = ±x, ±y, ±z; 7..18 = diagonals.
+inline constexpr std::array<std::array<int, 3>, kQ> kVelocities = {{
+    {0, 0, 0},                                                    // 0
+    {1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0},                 // 1..4
+    {0, 0, 1}, {0, 0, -1},                                        // 5..6
+    {1, 1, 0}, {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},               // 7..10
+    {1, 0, 1}, {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},               // 11..14
+    {0, 1, 1}, {0, -1, -1}, {0, 1, -1}, {0, -1, 1},               // 15..18
+}};
+
+/// Quadrature weights of the D3Q19 model.
+inline constexpr std::array<double, kQ> kWeights = {
+    1.0 / 3.0,
+    1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+    1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+
+/// Index of the opposite velocity (e_opp = -e_q), used by bounce-back.
+[[nodiscard]] constexpr int opposite(int q) {
+  constexpr std::array<int, kQ> kOpp = {0,  2,  1,  4,  3,  6,  5,
+                                        8,  7,  10, 9,  12, 11, 14,
+                                        13, 16, 15, 18, 17};
+  return kOpp[static_cast<std::size_t>(q)];
+}
+
+/// BGK equilibrium distribution for direction q at (rho, u).
+[[nodiscard]] inline double equilibrium(int q, double rho, double ux,
+                                        double uy, double uz) {
+  const auto& e = kVelocities[static_cast<std::size_t>(q)];
+  const double eu = e[0] * ux + e[1] * uy + e[2] * uz;
+  const double u2 = ux * ux + uy * uy + uz * uz;
+  return kWeights[static_cast<std::size_t>(q)] * rho *
+         (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * u2);
+}
+
+/// Cell classification.
+enum class Cell : std::uint8_t {
+  kFluid = 0,  ///< bulk fluid, stream-collide update
+  kWall = 1,   ///< solid no-slip wall (halfway bounce-back)
+  kLid = 2,    ///< moving wall (bounce-back with momentum injection)
+};
+
+/// Geometry: per-cell flags over an nx*ny*nz box.  The outermost layer is
+/// always solid (walls or lid), mirroring the Dirichlet layer of the
+/// Jacobi solvers.
+class Geometry {
+ public:
+  Geometry(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        flags_(static_cast<std::size_t>(nx) * ny * nz, Cell::kFluid) {}
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+
+  [[nodiscard]] Cell at(int i, int j, int k) const {
+    return flags_[index(i, j, k)];
+  }
+  void set(int i, int j, int k, Cell c) { flags_[index(i, j, k)] = c; }
+
+  /// Marks the whole outer layer as solid wall.
+  void close_box() {
+    for (int k = 0; k < nz_; ++k)
+      for (int j = 0; j < ny_; ++j)
+        for (int i = 0; i < nx_; ++i)
+          if (i == 0 || j == 0 || k == 0 || i == nx_ - 1 || j == ny_ - 1 ||
+              k == nz_ - 1)
+            set(i, j, k, Cell::kWall);
+  }
+
+  /// Lid-driven cavity: closed box whose top z face is a moving lid.
+  static Geometry cavity(int nx, int ny, int nz) {
+    Geometry g(nx, ny, nz);
+    g.close_box();
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) g.set(i, j, nz - 1, Cell::kLid);
+    return g;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * ny_ + j) * nx_ + i;
+  }
+
+  int nx_, ny_, nz_;
+  std::vector<Cell> flags_;
+};
+
+/// Particle distribution functions: one padded Grid3 per velocity
+/// (structure-of-arrays, the favorable layout for streaming kernels).
+class Lattice {
+ public:
+  Lattice(int nx, int ny, int nz) {
+    f_.reserve(kQ);
+    for (int q = 0; q < kQ; ++q) f_.emplace_back(nx, ny, nz);
+  }
+
+  [[nodiscard]] core::Grid3& f(int q) {
+    return f_[static_cast<std::size_t>(q)];
+  }
+  [[nodiscard]] const core::Grid3& f(int q) const {
+    return f_[static_cast<std::size_t>(q)];
+  }
+
+  [[nodiscard]] int nx() const { return f_[0].nx(); }
+  [[nodiscard]] int ny() const { return f_[0].ny(); }
+  [[nodiscard]] int nz() const { return f_[0].nz(); }
+
+  /// Initializes every cell to the equilibrium of (rho, u).
+  void init_equilibrium(double rho, std::array<double, 3> u) {
+    for (int q = 0; q < kQ; ++q) {
+      const double feq = equilibrium(q, rho, u[0], u[1], u[2]);
+      f_[static_cast<std::size_t>(q)].fill(feq);
+    }
+  }
+
+  /// Local density: sum of the distributions at one cell.
+  [[nodiscard]] double density(int i, int j, int k) const {
+    double rho = 0.0;
+    for (int q = 0; q < kQ; ++q) rho += f_[static_cast<std::size_t>(q)].at(i, j, k);
+    return rho;
+  }
+
+  /// Local velocity (rho-normalized first moment).
+  [[nodiscard]] std::array<double, 3> velocity(int i, int j, int k) const {
+    double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+    for (int q = 0; q < kQ; ++q) {
+      const double fq = f_[static_cast<std::size_t>(q)].at(i, j, k);
+      rho += fq;
+      mx += fq * kVelocities[static_cast<std::size_t>(q)][0];
+      my += fq * kVelocities[static_cast<std::size_t>(q)][1];
+      mz += fq * kVelocities[static_cast<std::size_t>(q)][2];
+    }
+    if (rho == 0.0) return {0, 0, 0};
+    return {mx / rho, my / rho, mz / rho};
+  }
+
+  /// Total mass over the fluid cells (conserved by BGK + bounce-back).
+  [[nodiscard]] double total_mass(const Geometry& geo) const {
+    double m = 0.0;
+    for (int k = 0; k < nz(); ++k)
+      for (int j = 0; j < ny(); ++j)
+        for (int i = 0; i < nx(); ++i)
+          if (geo.at(i, j, k) == Cell::kFluid) m += density(i, j, k);
+    return m;
+  }
+
+  /// Maximum absolute difference over all distributions.
+  [[nodiscard]] double max_abs_diff(const Lattice& other) const {
+    double m = 0.0;
+    for (int q = 0; q < kQ; ++q)
+      m = std::max(m, core::max_abs_diff(f_[static_cast<std::size_t>(q)],
+                                         other.f_[static_cast<std::size_t>(q)]));
+    return m;
+  }
+
+ private:
+  std::vector<core::Grid3> f_;
+};
+
+}  // namespace tb::lbm

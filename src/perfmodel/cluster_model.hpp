@@ -1,0 +1,75 @@
+// Cluster-level performance model for the distributed-memory experiments
+// (Fig. 6): composes per-process compute rates with the multi-layer halo
+// communication model over an explicit rank -> node mapping.
+//
+// The model is bulk-synchronous: per epoch every process computes its
+// (halo-extended) updates, then exchanges halos with no
+// computation/communication overlap — matching the paper's implementation
+// ("no explicit or implicit overlapping", Sec. 2.2).  The slowest rank
+// sets the epoch time.
+//
+// Modeled effects the paper discusses:
+//  * message aggregation & extra halo work       (halo_model.hpp)
+//  * buffer copying ~ as expensive as transfer   (pack_overhead)
+//  * NIC sharing between processes on one node   (bandwidth division)
+//  * intra-node neighbours exchanging via shared memory
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "perfmodel/halo_model.hpp"
+#include "topo/machine.hpp"
+
+namespace tb::perfmodel {
+
+/// Network and node parameters of the modeled cluster.
+struct ClusterParams {
+  LinkParams ib{1.8e-6, 3.2e9};    ///< inter-node QDR-IB link
+  LinkParams shm{0.4e-6, 6.0e9};   ///< intra-node (shared-memory) "link"
+  /// Per-process rate of copying halo data to/from intermediate message
+  /// buffers.  The copy is serial within a process (the MPI library does
+  /// not parallelize packing), so few processes per node means the whole
+  /// node's halos funnel through few copy streams — one reason "hybrid
+  /// vector" 1PPN mode is inferior.  6.4 GB/s (in + out counted as 2x the
+  /// bytes) calibrates to the paper's profiling observation that copying
+  /// costs about the same as the QDR-IB transfer itself (Sec. 2.2).
+  double copy_bw = 6.4e9;
+};
+
+/// One scaling data point to evaluate.
+struct ClusterRun {
+  int nodes = 1;
+  int ppn = 1;               ///< MPI processes per node
+  double grid = 600;         ///< linear problem size (see `weak`)
+  bool weak = false;         ///< false: grid^3 total; true: grid^3 per proc
+  int halo = 1;              ///< layers exchanged per epoch (h = n*t*T)
+  double proc_lups = 2.0e9;  ///< per-process update rate [LUP/s]
+  /// Overlap the wire time with computation (Sec. 3 outlook): the epoch
+  /// costs pack + max(compute, transfer) instead of their sum.
+  bool overlap = false;
+};
+
+/// Result of evaluating one run.
+struct ClusterResult {
+  double glups = 0.0;        ///< aggregate useful performance
+  double epoch_comp = 0.0;   ///< slowest rank's compute seconds per epoch
+  double epoch_comm = 0.0;   ///< slowest rank's comm seconds per epoch
+  std::array<int, 3> proc_grid{1, 1, 1};
+  std::array<double, 3> subdomain{0, 0, 0};
+
+  [[nodiscard]] double comp_ratio() const {
+    const double t = epoch_comp + epoch_comm;
+    return t > 0 ? epoch_comp / t : 0.0;
+  }
+};
+
+/// Near-cubic factorization of `procs` into 3 factors (MPI_Dims_create
+/// flavour), largest factor first.
+[[nodiscard]] std::array<int, 3> dims_create(int procs);
+
+/// Evaluates the model for one configuration.
+[[nodiscard]] ClusterResult evaluate_cluster(const ClusterRun& run,
+                                             const ClusterParams& params);
+
+}  // namespace tb::perfmodel

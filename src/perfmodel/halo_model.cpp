@@ -1,0 +1,75 @@
+#include "perfmodel/halo_model.hpp"
+
+namespace tb::perfmodel {
+
+EpochCost halo_epoch_cost(const EpochParams& p) {
+  EpochCost out;
+  const int h = p.halo;
+
+  // --- Computation: update s (s = 1..h) covers the owned region grown by
+  // (h-s) layers toward every neighbouring face.
+  for (int s = 1; s <= h; ++s) {
+    const double grow = static_cast<double>(h - s);
+    double cells = 1.0;
+    double owned = 1.0;
+    for (int d = 0; d < 3; ++d) {
+      cells *= p.extent[static_cast<std::size_t>(d)] +
+               grow * p.neighbors.count(d);
+      owned *= p.extent[static_cast<std::size_t>(d)];
+    }
+    out.bulk_updates += owned;
+    out.extra_updates += cells - owned;
+  }
+  out.comp = (out.bulk_updates + out.extra_updates) / p.lups;
+
+  // --- Communication: per direction, one h-deep face message per existing
+  // neighbour.  The consecutive x -> y -> z transmission means later
+  // directions carry the ghost layers already received (ghost cell
+  // expansion), growing their face area by 2h per earlier direction with
+  // neighbours on both sides (h per side).
+  std::array<double, 3> expanded = p.extent;
+  double comm = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    const std::size_t du = static_cast<std::size_t>(d);
+    const double area = (d == 0 ? expanded[1] * expanded[2]
+                        : d == 1 ? expanded[0] * expanded[2]
+                                 : expanded[0] * expanded[1]);
+    const double bytes = 8.0 * h * area;
+    const int faces = p.neighbors.count(d);
+    comm += faces * p.link.message_time(bytes);
+    out.bytes_sent += faces * bytes;
+    expanded[du] += static_cast<double>(h) * p.neighbors.count(d);
+  }
+  out.comm = comm * (1.0 + p.pack_overhead);
+  return out;
+}
+
+namespace {
+
+EpochParams cubic_params(double L, int h, double lups,
+                         const LinkParams& link) {
+  EpochParams p;
+  p.extent = {L, L, L};
+  p.halo = h;
+  p.lups = lups;
+  p.link = link;
+  return p;
+}
+
+}  // namespace
+
+double multi_halo_advantage(double L, int h, double lups,
+                            const LinkParams& link) {
+  const EpochCost single = halo_epoch_cost(cubic_params(L, 1, lups, link));
+  const EpochCost multi = halo_epoch_cost(cubic_params(L, h, lups, link));
+  const double per_update_single = single.total();
+  const double per_update_multi = multi.total() / h;
+  return per_update_multi > 0 ? per_update_single / per_update_multi : 0.0;
+}
+
+double computational_efficiency(double L, int h, double lups,
+                                const LinkParams& link) {
+  return halo_epoch_cost(cubic_params(L, h, lups, link)).comp_ratio();
+}
+
+}  // namespace tb::perfmodel

@@ -1,0 +1,88 @@
+// Analytic model of multi-layer halo exchange (Sec. 2.1, Fig. 5).
+//
+// A process owns an Lx*Ly*Lz subdomain and advances h time levels per
+// communication epoch.  Per epoch it:
+//
+//  * exchanges h ghost layers per face, transmitted consecutively along
+//    x, then y, then z; the y/z messages include the already-received
+//    ghost corners (ghost cell expansion [9]), so face areas grow by 2h
+//    per previously-exchanged direction;
+//  * performs "bulk" plus extra "face" stencil updates: update s covers a
+//    region h-s layers larger in each direction that has a neighbour
+//    (subdomains overlap by h-1 layers).
+//
+// Communication uses a latency/bandwidth model with *no* overlap between
+// calculation and transfer, matching the paper's assumptions.  The model
+// deliberately disregards message-protocol switching, buffer copying and
+// load imbalance (the paper lists the same caveats); an optional
+// pack_overhead factor lets the cluster model account for the profiling
+// observation that copying halo data costs about as much as the transfer.
+#pragma once
+
+#include <array>
+
+namespace tb::perfmodel {
+
+/// Point-to-point link: first-byte latency and asymptotic bandwidth.
+struct LinkParams {
+  double latency = 1.8e-6;    ///< seconds (QDR InfiniBand default)
+  double bandwidth = 3.2e9;   ///< bytes/s unidirectional
+
+  /// Transfer time of one `bytes`-sized message.
+  [[nodiscard]] double message_time(double bytes) const {
+    return latency + bytes / bandwidth;
+  }
+};
+
+/// Which sides of a subdomain have neighbours (interior faces).
+struct NeighborMask {
+  std::array<bool, 3> lo{true, true, true};
+  std::array<bool, 3> hi{true, true, true};
+
+  [[nodiscard]] int count(int d) const {
+    return (lo[static_cast<std::size_t>(d)] ? 1 : 0) +
+           (hi[static_cast<std::size_t>(d)] ? 1 : 0);
+  }
+};
+
+/// Inputs of the epoch cost model.
+struct EpochParams {
+  std::array<double, 3> extent{100, 100, 100};  ///< owned cells per dim
+  int halo = 1;                                 ///< layers per exchange, h
+  double lups = 2.0e9;       ///< process update rate [LUP/s]
+  LinkParams link{};         ///< same link for all 6 faces by default
+  NeighborMask neighbors{};  ///< which faces exist
+  double pack_overhead = 0.0;  ///< extra fraction of transfer time spent
+                               ///< copying to/from message buffers
+};
+
+/// Outputs: seconds per epoch, split into computation and communication.
+struct EpochCost {
+  double comp = 0.0;
+  double comm = 0.0;
+  double bulk_updates = 0.0;   ///< owned-cell updates per epoch
+  double extra_updates = 0.0;  ///< redundant halo-region updates
+  double bytes_sent = 0.0;     ///< per process per epoch
+
+  [[nodiscard]] double total() const { return comp + comm; }
+  /// "Computational efficiency": computation / overall time (Fig. 5 inset).
+  [[nodiscard]] double comp_ratio() const {
+    const double t = total();
+    return t > 0 ? comp / t : 0.0;
+  }
+};
+
+/// Evaluates the epoch cost model.
+[[nodiscard]] EpochCost halo_epoch_cost(const EpochParams& p);
+
+/// Fig. 5 main panel: ratio of per-update execution time of the standard
+/// one-layer-halo version to the h-layer version, for a cubic subdomain of
+/// linear size L with neighbours on all faces.
+[[nodiscard]] double multi_halo_advantage(double L, int h, double lups,
+                                          const LinkParams& link);
+
+/// Fig. 5 inset: computation / overall time for the h-layer version.
+[[nodiscard]] double computational_efficiency(double L, int h, double lups,
+                                              const LinkParams& link);
+
+}  // namespace tb::perfmodel

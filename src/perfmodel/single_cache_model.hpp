@@ -1,0 +1,88 @@
+// Single-cache diagnostic performance model (Sec. 1.4).
+//
+// Assumptions: execution is purely bandwidth-bound both in memory and in
+// the shared cache; the memory bus is always saturated; the cache is large
+// enough to hold (t-1)*du blocks; blocks are sized so the shared cache
+// supplies exactly one load and one store per stencil update.
+//
+// Under these assumptions the t*T block updates performed by a team on one
+// block take (Eq. (4))
+//
+//   Tb = 16 B / Ms,1 * (1 + (t*T - 1) * Ms,1 / Mc)        [per cell]
+//
+// and the speedup over the standard algorithm is (Eq. (5))
+//
+//   T0/Tb = (Ms,1 / Ms) * t*T / (1 + (t*T - 1) * Ms,1 / Mc).
+//
+// The model is *diagnostic*: it matches measurements at T = 1 but fails at
+// larger T, where execution has decoupled from memory bandwidth — exactly
+// the failure mode the paper reports.
+#pragma once
+
+#include <cmath>
+
+#include "topo/machine.hpp"
+
+namespace tb::perfmodel {
+
+/// Eq. (2): memory-bandwidth expectation for the standard Jacobi with
+/// non-temporal stores, P0 = Ms / 16 bytes  [LUP/s], for one socket.
+[[nodiscard]] inline double baseline_lups_socket(
+    const topo::MachineSpec& m) {
+  return m.mem_bw_socket / 16.0;
+}
+
+/// Eq. (2) for the full node (both sockets' memory controllers).
+[[nodiscard]] inline double baseline_lups_node(const topo::MachineSpec& m) {
+  return m.mem_bw_node() / 16.0;
+}
+
+/// Code balance of the standard Jacobi *without* non-temporal stores:
+/// 8/6 W/F due to the read-for-ownership, i.e. 24 bytes per update.
+[[nodiscard]] inline double baseline_lups_socket_rfo(
+    const topo::MachineSpec& m) {
+  return m.mem_bw_socket / 24.0;
+}
+
+/// Eq. (4): time per cell for the t*T updates of one team sweep [s].
+[[nodiscard]] inline double team_time_per_cell(const topo::MachineSpec& m,
+                                               int t, int T) {
+  const double tt = static_cast<double>(t) * T;
+  return 16.0 / m.mem_bw_single * (1.0 + (tt - 1.0) * m.mem_bw_single /
+                                             m.cache_bw);
+}
+
+/// Eq. (5): predicted speedup of pipelined blocking over the standard
+/// algorithm on one cache group of t threads doing T updates each.
+[[nodiscard]] inline double pipeline_speedup(const topo::MachineSpec& m,
+                                             int t, int T) {
+  const double tt = static_cast<double>(t) * T;
+  return (m.mem_bw_single / m.mem_bw_socket) * tt /
+         (1.0 + (tt - 1.0) * m.mem_bw_single / m.cache_bw);
+}
+
+/// Asymptotic speedup for very large t*T: Mc / Ms.
+[[nodiscard]] inline double pipeline_speedup_limit(
+    const topo::MachineSpec& m) {
+  return m.cache_bw / m.mem_bw_socket;
+}
+
+/// Predicted absolute pipelined performance on one socket [LUP/s]:
+/// P0 * speedup.
+[[nodiscard]] inline double pipeline_lups_socket(const topo::MachineSpec& m,
+                                                 int t, int T) {
+  return baseline_lups_socket(m) * pipeline_speedup(m, t, T);
+}
+
+/// Sec. 1.3's estimate for the maximum admissible thread distance: the
+/// shared cache must hold roughly t times the in-flight blocks, so
+/// d_u <= cache_size / (t * block_bytes).
+[[nodiscard]] inline double max_thread_distance(const topo::MachineSpec& m,
+                                                int t,
+                                                std::size_t block_bytes) {
+  if (block_bytes == 0) return 0.0;
+  return static_cast<double>(m.shared_cache_bytes) /
+         (static_cast<double>(t) * static_cast<double>(block_bytes));
+}
+
+}  // namespace tb::perfmodel

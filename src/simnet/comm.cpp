@@ -1,0 +1,156 @@
+#include "simnet/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace tb::simnet {
+
+World::World(int ranks, NetworkModel model)
+    : ranks_(ranks),
+      model_(model),
+      final_times_(static_cast<std::size_t>(ranks), 0.0) {
+  if (ranks < 1) throw std::invalid_argument("World: ranks < 1");
+  mailboxes_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::deliver(int src, int dst, int tag, Message msg) {
+  Mailbox& box = *mailboxes_.at(static_cast<std::size_t>(dst));
+  {
+    std::scoped_lock lock(box.mutex);
+    box.queues[{src, tag}].push(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+World::Message World::take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_.at(static_cast<std::size_t>(dst));
+  std::unique_lock lock(box.mutex);
+  auto& q = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] { return !q.empty(); });
+  Message msg = std::move(q.front());
+  q.pop();
+  return msg;
+}
+
+void World::run(const std::function<void(Comm&)>& rank_fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(this, r);
+      try {
+        rank_fn(comm);
+      } catch (...) {
+        const std::scoped_lock lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      final_times_[static_cast<std::size_t>(r)] = comm.sim_time();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double World::max_sim_time() const {
+  return *std::max_element(final_times_.begin(), final_times_.end());
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, std::span<const double> data) {
+  if (dst < 0 || dst >= size())
+    throw std::out_of_range("Comm::send: bad destination rank");
+  const std::size_t bytes = data.size_bytes();
+  // The sender is busy for the full modeled message time (no overlap in
+  // the paper's implementation, and packing is a CPU cost).
+  sim_time_ += world_->model().message_seconds(bytes);
+  World::Message msg;
+  msg.payload.assign(data.begin(), data.end());
+  msg.depart_time = sim_time_;
+  bytes_sent_ += bytes;
+  ++msgs_sent_;
+  world_->deliver(rank_, dst, tag, std::move(msg));
+}
+
+void Comm::isend(int dst, int tag, std::span<const double> data) {
+  if (dst < 0 || dst >= size())
+    throw std::out_of_range("Comm::isend: bad destination rank");
+  const std::size_t bytes = data.size_bytes();
+  const NetworkModel& model = world_->model();
+  // The sender only pays for copying into the message buffer; the wire
+  // time elapses concurrently with whatever the sender does next.
+  const double wire = model.latency + static_cast<double>(bytes) /
+                                          model.bandwidth;
+  const double pack = wire * model.pack_overhead;
+  sim_time_ += pack;
+  World::Message msg;
+  msg.payload.assign(data.begin(), data.end());
+  msg.depart_time = sim_time_ + wire;
+  bytes_sent_ += bytes;
+  ++msgs_sent_;
+  world_->deliver(rank_, dst, tag, std::move(msg));
+}
+
+void Comm::recv(int src, int tag, std::span<double> out) {
+  if (src < 0 || src >= size())
+    throw std::out_of_range("Comm::recv: bad source rank");
+  World::Message msg = world_->take(rank_, src, tag);
+  if (msg.payload.size() != out.size())
+    throw std::length_error("Comm::recv: message length mismatch");
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin());
+  // Conservative timestamp: cannot complete before the message existed.
+  sim_time_ = std::max(sim_time_, msg.depart_time);
+}
+
+void Comm::sendrecv(int dst, int send_tag, std::span<const double> send_data,
+                    int src, int recv_tag, std::span<double> recv_data) {
+  send(dst, send_tag, send_data);
+  recv(src, recv_tag, recv_data);
+}
+
+void Comm::barrier() { (void)allreduce_max(0.0); }
+
+double World::reduce(double value, double rank_time, bool is_sum,
+                     double* out_time) {
+  std::unique_lock lock(coll_mutex_);
+  const std::uint64_t gen = coll_generation_;
+  if (coll_waiting_ == 0) {
+    coll_acc_ = is_sum ? 0.0 : -1e300;
+    coll_time_ = 0.0;
+  }
+  coll_acc_ = is_sum ? coll_acc_ + value : std::max(coll_acc_, value);
+  coll_time_ = std::max(coll_time_, rank_time);
+  if (++coll_waiting_ == size()) {
+    coll_result_ = coll_acc_;
+    coll_result_time_ = coll_time_;
+    coll_waiting_ = 0;
+    ++coll_generation_;
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lock, [&] { return coll_generation_ != gen; });
+  }
+  *out_time = coll_result_time_;
+  return coll_result_;
+}
+
+double Comm::allreduce_sum(double value) {
+  double t = 0.0;
+  const double result = world_->reduce(value, sim_time_, /*is_sum=*/true, &t);
+  sim_time_ = t + world_->model().collective_seconds(world_->size());
+  return result;
+}
+
+double Comm::allreduce_max(double value) {
+  double t = 0.0;
+  const double result =
+      world_->reduce(value, sim_time_, /*is_sum=*/false, &t);
+  sim_time_ = t + world_->model().collective_seconds(world_->size());
+  return result;
+}
+
+}  // namespace tb::simnet

@@ -1,0 +1,191 @@
+// In-process message-passing runtime ("SimMPI").
+//
+// World hosts N ranks, each executed on its own thread.  The API mirrors
+// the MPI subset a halo-exchange code needs: blocking standard-mode send
+// (buffered, never deadlocks), blocking receive with (source, tag)
+// matching, sendrecv, barrier, allreduce.  Payloads are copied through a
+// per-receiver mailbox, so the data movement is real; simulated time is
+// tracked per rank and advanced by the NetworkModel on every operation
+// (conservative timestamps: a receive completes no earlier than the
+// matching send's completion plus the modeled transfer time).
+//
+// Design notes:
+//  * Messages between the same (source, destination, tag) are
+//    non-overtaking, as in MPI.
+//  * send() buffers and returns immediately — the standard-mode semantics
+//    real MPI provides for halo-sized messages via eager protocol; this
+//    makes the usual exchange patterns deadlock-free.
+//  * compute(seconds) lets the application charge computation phases to
+//    the simulated clock, so epoch timings combine real algorithm
+//    execution with modeled hardware speeds.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "simnet/network_model.hpp"
+
+namespace tb::simnet {
+
+class World;
+
+/// Per-rank communicator handle.  Thread-compatible: used only by the
+/// rank's own thread.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Buffered blocking send of `data` to rank `dst` with tag `tag`.
+  void send(int dst, int tag, std::span<const double> data);
+
+  /// Non-blocking send: the payload is buffered immediately and the
+  /// sender's simulated clock advances only by the local packing cost —
+  /// the wire time proceeds "in the background" (the overlap the paper's
+  /// MPI could not provide, Sec. 2.2/3).  The returned completion time is
+  /// informational; the data is already safe to reuse.
+  void isend(int dst, int tag, std::span<const double> data);
+
+  /// Blocking receive from `src` with `tag`; the message length must equal
+  /// out.size() (shape mismatches throw — halo exchanges are
+  /// fixed-geometry, a length mismatch is a bug, not a protocol feature).
+  void recv(int src, int tag, std::span<double> out);
+
+  /// Combined exchange with one peer (both directions may be different
+  /// peers, as in MPI_Sendrecv).
+  void sendrecv(int dst, int send_tag, std::span<const double> send_data,
+                int src, int recv_tag, std::span<double> recv_data);
+
+  /// Synchronizes all ranks (and their simulated clocks).
+  void barrier();
+
+  /// Global reductions; also synchronize simulated clocks.
+  [[nodiscard]] double allreduce_sum(double value);
+  [[nodiscard]] double allreduce_max(double value);
+
+  /// Advances this rank's simulated clock by `seconds` of computation.
+  void compute(double seconds) { sim_time_ += seconds; }
+
+  /// Simulated seconds elapsed on this rank.
+  [[nodiscard]] double sim_time() const { return sim_time_; }
+  /// Bytes this rank has sent so far (for communication-volume checks).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Messages this rank has sent so far.
+  [[nodiscard]] std::uint64_t messages_sent() const { return msgs_sent_; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  double sim_time_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t msgs_sent_ = 0;
+};
+
+/// Hosts the ranks, mailboxes and collective state.
+class World {
+ public:
+  explicit World(int ranks, NetworkModel model = NetworkModel{});
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `rank_fn(comm)` once per rank, each on its own thread; returns
+  /// when every rank has finished.  Exceptions from rank functions are
+  /// rethrown on the caller (first one wins).
+  void run(const std::function<void(Comm&)>& rank_fn);
+
+  [[nodiscard]] int size() const { return ranks_; }
+  [[nodiscard]] const NetworkModel& model() const { return model_; }
+
+  /// Simulated clock of rank r after the last run() (max over operations).
+  [[nodiscard]] double sim_time(int rank) const {
+    return final_times_.at(static_cast<std::size_t>(rank));
+  }
+  /// Maximum simulated clock over all ranks after the last run().
+  [[nodiscard]] double max_sim_time() const;
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    std::vector<double> payload;
+    double depart_time = 0.0;  ///< sender's simulated clock at send
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::queue<Message>> queues;
+  };
+
+  void deliver(int src, int dst, int tag, Message msg);
+  Message take(int dst, int src, int tag);
+
+  int ranks_;
+  NetworkModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<double> final_times_;
+
+  /// Reusable centralized reduction.  Safe across back-to-back collectives
+  /// because generation g+1 cannot complete before every waiter of g has
+  /// re-entered; the *completed* values are broadcast via coll_result_ /
+  /// coll_result_time_, which are only written at completion.
+  double reduce(double value, double rank_time, bool is_sum,
+                double* out_time);
+
+  std::mutex coll_mutex_;
+  std::condition_variable coll_cv_;
+  std::uint64_t coll_generation_ = 0;
+  int coll_waiting_ = 0;
+  double coll_acc_ = 0.0;
+  double coll_time_ = 0.0;
+  double coll_result_ = 0.0;
+  double coll_result_time_ = 0.0;
+};
+
+/// 3-D Cartesian process topology helper (MPI_Cart_create flavour,
+/// non-periodic).
+class CartTopology {
+ public:
+  CartTopology(int ranks, std::array<int, 3> dims) : dims_(dims) {
+    if (dims[0] * dims[1] * dims[2] != ranks)
+      throw std::invalid_argument("CartTopology: dims product != ranks");
+  }
+
+  [[nodiscard]] std::array<int, 3> coords_of(int rank) const {
+    return {rank % dims_[0], (rank / dims_[0]) % dims_[1],
+            rank / (dims_[0] * dims_[1])};
+  }
+
+  [[nodiscard]] int rank_of(const std::array<int, 3>& c) const {
+    return c[0] + dims_[0] * (c[1] + dims_[1] * c[2]);
+  }
+
+  /// Neighbour rank in direction d (0..2), side -1/+1; -1 if none.
+  [[nodiscard]] int neighbor(int rank, int d, int side) const {
+    std::array<int, 3> c = coords_of(rank);
+    c[static_cast<std::size_t>(d)] += side;
+    if (c[static_cast<std::size_t>(d)] < 0 ||
+        c[static_cast<std::size_t>(d)] >= dims_[static_cast<std::size_t>(d)])
+      return -1;
+    return rank_of(c);
+  }
+
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+
+ private:
+  std::array<int, 3> dims_;
+};
+
+}  // namespace tb::simnet

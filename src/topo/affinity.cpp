@@ -1,0 +1,23 @@
+#include "topo/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace tb::topo {
+
+bool pin_current_thread(int core) {
+#if defined(__linux__)
+  if (core < 0 || core >= hardware_cores()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace tb::topo

@@ -1,0 +1,71 @@
+#include "topo/placement.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tb::topo {
+namespace {
+
+constexpr std::size_t kDoublesPerPage = kPageBytes / sizeof(double);
+
+void zero_range(double* data, std::size_t begin, std::size_t end) {
+  if (end > begin) std::memset(data + begin, 0, (end - begin) * sizeof(double));
+}
+
+}  // namespace
+
+void touch_pages(double* data, std::size_t count, PagePlacement policy,
+                 int threads) {
+  if (count == 0) return;
+  threads = std::max(1, threads);
+
+  if (policy == PagePlacement::kSerial || threads == 1) {
+    zero_range(data, 0, count);
+    return;
+  }
+
+  const std::size_t pages = (count + kDoublesPerPage - 1) / kDoublesPerPage;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([=] {
+      if (policy == PagePlacement::kRoundRobin) {
+        // Thread t touches pages t, t+threads, t+2*threads, ...
+        for (std::size_t p = static_cast<std::size_t>(t); p < pages;
+             p += static_cast<std::size_t>(threads)) {
+          const std::size_t begin = p * kDoublesPerPage;
+          zero_range(data, begin, std::min(begin + kDoublesPerPage, count));
+        }
+      } else {  // kFirstTouch: contiguous chunk per thread
+        const std::size_t chunk = (pages + threads - 1) / threads;
+        const std::size_t p0 = static_cast<std::size_t>(t) * chunk;
+        const std::size_t p1 = std::min(p0 + chunk, pages);
+        const std::size_t begin = p0 * kDoublesPerPage;
+        const std::size_t end = std::min(p1 * kDoublesPerPage, count);
+        zero_range(data, begin, end);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+int page_domain(std::size_t index, PagePlacement policy, int domains,
+                std::size_t elems_per_domain) {
+  if (domains <= 1) return 0;
+  const std::size_t page = index / kDoublesPerPage;
+  switch (policy) {
+    case PagePlacement::kRoundRobin:
+      return static_cast<int>(page % static_cast<std::size_t>(domains));
+    case PagePlacement::kFirstTouch: {
+      if (elems_per_domain == 0) return 0;
+      const std::size_t d = index / elems_per_domain;
+      return static_cast<int>(
+          std::min<std::size_t>(d, static_cast<std::size_t>(domains - 1)));
+    }
+    case PagePlacement::kSerial:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace tb::topo

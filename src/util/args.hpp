@@ -1,0 +1,88 @@
+// Minimal command-line flag parser for examples and bench drivers.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unrecognized flags are collected so callers can report them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tb::util {
+
+/// Parsed command-line arguments with typed accessors and defaults.
+class Args {
+ public:
+  Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(a));
+        continue;
+      }
+      a.erase(0, 2);
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        kv_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[a] = argv[++i];
+      } else {
+        kv_[a] = "true";  // boolean switch
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  /// Parses a comma-separated integer list, e.g. "--T=1,2,4".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> def) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    std::vector<std::int64_t> out;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tb::util

@@ -1,0 +1,49 @@
+// Tiny leveled logger; off by default so benches stay machine-readable.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace tb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace detail {
+inline LogLevel& threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+/// Sets the global log threshold (messages below it are dropped).
+inline void set_log_level(LogLevel level) { detail::threshold() = level; }
+
+/// Thread-safe formatted log line to stderr.
+template <typename... Ts>
+void log(LogLevel level, std::string_view tag, const Ts&... parts) {
+  if (level < detail::threshold()) return;
+  std::ostringstream ss;
+  ss << '[' << tag << "] ";
+  (ss << ... << parts);
+  ss << '\n';
+  const std::scoped_lock lock(detail::log_mutex());
+  std::cerr << ss.str();
+}
+
+template <typename... Ts>
+void log_info(std::string_view tag, const Ts&... parts) {
+  log(LogLevel::kInfo, tag, parts...);
+}
+
+template <typename... Ts>
+void log_warn(std::string_view tag, const Ts&... parts) {
+  log(LogLevel::kWarn, tag, parts...);
+}
+
+}  // namespace tb::util

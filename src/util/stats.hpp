@@ -1,0 +1,53 @@
+// Small statistics helpers for benchmark repetitions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace tb::util {
+
+/// Summary statistics of a sample of measurements.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes summary statistics; tolerates an empty sample.
+[[nodiscard]] inline Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  double ss = 0.0;
+  for (double x : sorted) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|, eps); used in model validation.
+[[nodiscard]] inline double rel_diff(double a, double b,
+                                     double eps = 1e-300) {
+  const double denom = std::max({std::abs(a), std::abs(b), eps});
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace tb::util

@@ -1,0 +1,101 @@
+// Plain-text table and CSV emitters for the figure-reproduction benches.
+//
+// Every bench prints the same rows/series as the corresponding paper figure;
+// TableWriter keeps that output aligned and optionally mirrors it to CSV.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tb::util {
+
+/// Column-aligned text table with an optional CSV mirror.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats arithmetic cells with fixed precision.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(format_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  /// Renders the aligned table to `os`.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    print_row(os, headers_, widths);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+  /// Writes the table as CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    write_csv_line(out, headers_);
+    for (const auto& row : rows_) write_csv_line(out, row);
+    return static_cast<bool>(out);
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(3) << v;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << v;
+      return ss.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c]
+         << "  ";
+    }
+    os << '\n';
+  }
+
+  static void write_csv_line(std::ostream& os,
+                             const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tb::util

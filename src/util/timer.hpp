@@ -1,0 +1,38 @@
+// Wall-clock timing helpers used by all benchmarks and the examples.
+#pragma once
+
+#include <chrono>
+
+namespace tb::util {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Converts (lattice-site updates, seconds) into the paper's MLUP/s metric.
+[[nodiscard]] inline double mlups(double site_updates, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return site_updates / seconds / 1e6;
+}
+
+/// GLUP/s variant used for node-level numbers (Fig. 3/6 axis units).
+[[nodiscard]] inline double glups(double site_updates, double seconds) {
+  return mlups(site_updates, seconds) / 1e3;
+}
+
+}  // namespace tb::util

@@ -1,0 +1,88 @@
+// Tests of the wavefront comparator (Ref. [2]).
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "core/wavefront.hpp"
+#include "perfmodel/wavefront_model.hpp"
+
+namespace tb::core {
+namespace {
+
+Grid3 make_initial(int nx, int ny, int nz) {
+  Grid3 g(nx, ny, nz);
+  fill_test_pattern(g);
+  return g;
+}
+
+struct WaveCase {
+  int threads;
+  int by;
+  std::array<int, 3> grid;
+  int sweeps;
+};
+
+class Wavefront : public ::testing::TestWithParam<WaveCase> {};
+
+TEST_P(Wavefront, BitIdenticalToReference) {
+  const WaveCase c = GetParam();
+  const Grid3 initial = make_initial(c.grid[0], c.grid[1], c.grid[2]);
+  Grid3 a = initial.clone(), b = initial.clone();
+  Grid3 ra = initial.clone(), rb = initial.clone();
+
+  WavefrontConfig cfg;
+  cfg.threads = c.threads;
+  cfg.by = c.by;
+  WavefrontJacobi solver(cfg, c.grid[0], c.grid[1], c.grid[2]);
+  solver.run(a, b, c.sweeps);
+  Grid3& got = solver.result(a, b, c.sweeps);
+  Grid3& want = reference_solve(ra, rb, c.sweeps * c.threads);
+  EXPECT_EQ(max_abs_diff(got, want), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Wavefront,
+    ::testing::Values(WaveCase{1, 4, {12, 12, 12}, 3},
+                      WaveCase{2, 4, {14, 12, 16}, 2},
+                      WaveCase{3, 2, {16, 10, 18}, 2},
+                      WaveCase{4, 16, {12, 18, 20}, 1},
+                      // Wave deeper than the plane count: heavy clipping.
+                      WaveCase{6, 4, {10, 10, 6}, 2},
+                      WaveCase{2, 100, {12, 12, 12}, 2}));
+
+TEST(Wavefront, RejectsBadConfig) {
+  WavefrontConfig cfg;
+  cfg.threads = 0;
+  EXPECT_THROW(WavefrontJacobi(cfg, 8, 8, 8), std::invalid_argument);
+}
+
+TEST(Wavefront, WorkingSetGrowsWithDepthAndPlane) {
+  WavefrontConfig cfg;
+  cfg.threads = 2;
+  const WavefrontJacobi small(cfg, 64, 64, 64);
+  cfg.threads = 4;
+  const WavefrontJacobi deep(cfg, 64, 64, 64);
+  const WavefrontJacobi wide(cfg, 128, 128, 64);
+  EXPECT_GT(deep.working_set_bytes(), small.working_set_bytes());
+  EXPECT_GT(wide.working_set_bytes(), deep.working_set_bytes());
+}
+
+TEST(WavefrontModel, CapacityCrossover) {
+  const topo::MachineSpec m = topo::nehalem_ep_socket();
+  // 600^2 planes (2.9 MiB) cannot host a 4-deep wave in 8 MiB L3; small
+  // planes can.
+  EXPECT_FALSE(perfmodel::wavefront_fits(m, 600, 600, 4));
+  EXPECT_TRUE(perfmodel::wavefront_fits(m, 150, 150, 4));
+  EXPECT_EQ(perfmodel::max_wavefront_depth(m, 600, 600), 0);
+  EXPECT_GE(perfmodel::max_wavefront_depth(m, 150, 150), 4);
+}
+
+TEST(WavefrontModel, SpilledWaveLosesTheSpeedup) {
+  const topo::MachineSpec m = topo::nehalem_ep_socket();
+  const double fits = perfmodel::wavefront_lups_socket(m, 150, 150, 4);
+  const double spills = perfmodel::wavefront_lups_socket(m, 600, 600, 4);
+  EXPECT_GT(fits, perfmodel::baseline_lups_socket(m));
+  EXPECT_LT(spills, perfmodel::baseline_lups_socket(m));
+}
+
+}  // namespace
+}  // namespace tb::core

@@ -1,0 +1,226 @@
+// Tests of the D3Q19 lattice-Boltzmann extension: model invariants,
+// physics sanity, and bit-equivalence of the pipelined schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "lbm/solver.hpp"
+
+namespace tb::lbm {
+namespace {
+
+// ---- model invariants --------------------------------------------------
+
+TEST(D3Q19, WeightsSumToOne) {
+  const double sum = std::accumulate(kWeights.begin(), kWeights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TEST(D3Q19, VelocitiesHaveNoCornerDirections) {
+  // The temporal-blocking dependency proof requires |e| != (1,1,1).
+  for (const auto& e : kVelocities) {
+    const int nonzero = (e[0] != 0) + (e[1] != 0) + (e[2] != 0);
+    EXPECT_LE(nonzero, 2);
+  }
+}
+
+TEST(D3Q19, VelocitiesSumToZero) {
+  int sx = 0, sy = 0, sz = 0;
+  for (const auto& e : kVelocities) {
+    sx += e[0];
+    sy += e[1];
+    sz += e[2];
+  }
+  EXPECT_EQ(sx, 0);
+  EXPECT_EQ(sy, 0);
+  EXPECT_EQ(sz, 0);
+}
+
+TEST(D3Q19, OppositeIsInvolutionAndNegates) {
+  for (int q = 0; q < kQ; ++q) {
+    const int o = opposite(q);
+    EXPECT_EQ(opposite(o), q);
+    for (int d = 0; d < 3; ++d)
+      EXPECT_EQ(kVelocities[static_cast<std::size_t>(o)][static_cast<std::size_t>(d)],
+                -kVelocities[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST(D3Q19, EquilibriumMomentsAreExact) {
+  // Zeroth and first moments of f_eq must reproduce rho and rho*u.
+  const double rho = 1.1, ux = 0.03, uy = -0.02, uz = 0.01;
+  double m0 = 0, mx = 0, my = 0, mz = 0;
+  for (int q = 0; q < kQ; ++q) {
+    const double feq = equilibrium(q, rho, ux, uy, uz);
+    m0 += feq;
+    mx += feq * kVelocities[static_cast<std::size_t>(q)][0];
+    my += feq * kVelocities[static_cast<std::size_t>(q)][1];
+    mz += feq * kVelocities[static_cast<std::size_t>(q)][2];
+  }
+  EXPECT_NEAR(m0, rho, 1e-14);
+  EXPECT_NEAR(mx, rho * ux, 1e-14);
+  EXPECT_NEAR(my, rho * uy, 1e-14);
+  EXPECT_NEAR(mz, rho * uz, 1e-14);
+}
+
+TEST(LbmConfig, ValidatesOmega) {
+  LbmConfig cfg;
+  cfg.omega = 2.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.omega = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// ---- physics sanity ----------------------------------------------------
+
+TEST(Lbm, EquilibriumAtRestIsStationary) {
+  const int n = 10;
+  Geometry geo(n, n, n);
+  geo.close_box();
+  LbmConfig cfg;
+  cfg.lid_velocity = {0, 0, 0};
+  Lattice a(n, n, n), b(n, n, n);
+  a.init_equilibrium(1.0, {0, 0, 0});
+  b.init_equilibrium(1.0, {0, 0, 0});
+  ReferenceLbm solver(geo, cfg);
+  solver.run(a, b, 4);
+  // Still at rest, density 1 everywhere in the fluid.
+  for (int k = 1; k < n - 1; ++k)
+    for (int j = 1; j < n - 1; ++j)
+      for (int i = 1; i < n - 1; ++i) {
+        EXPECT_NEAR(a.density(i, j, k), 1.0, 1e-13);
+        const auto u = a.velocity(i, j, k);
+        EXPECT_NEAR(u[0], 0.0, 1e-14);
+      }
+}
+
+TEST(Lbm, MassConservedInClosedCavity) {
+  const int n = 12;
+  Geometry geo = Geometry::cavity(n, n, n);
+  LbmConfig cfg;
+  cfg.omega = 1.2;
+  Lattice a(n, n, n), b(n, n, n);
+  a.init_equilibrium(1.0, {0, 0, 0});
+  b.init_equilibrium(1.0, {0, 0, 0});
+  const double m0 = a.total_mass(geo);
+  ReferenceLbm solver(geo, cfg);
+  solver.run(a, b, 20);
+  // 20 steps: final level in grid a (even).
+  EXPECT_NEAR(a.total_mass(geo) / m0, 1.0, 1e-12);
+}
+
+TEST(Lbm, LidDrivesFlow) {
+  const int n = 14;
+  Geometry geo = Geometry::cavity(n, n, n);
+  LbmConfig cfg;
+  cfg.omega = 1.0;
+  cfg.lid_velocity = {0.08, 0, 0};
+  Lattice a(n, n, n), b(n, n, n);
+  a.init_equilibrium(1.0, {0, 0, 0});
+  b.init_equilibrium(1.0, {0, 0, 0});
+  ReferenceLbm solver(geo, cfg);
+  solver.run(a, b, 60);
+  // Fluid just below the lid moves in +x; return flow appears lower down.
+  const auto near_lid = a.velocity(n / 2, n / 2, n - 2);
+  EXPECT_GT(near_lid[0], 0.005);
+  const auto mid = a.velocity(n / 2, n / 2, n / 3);
+  EXPECT_LT(mid[0], near_lid[0] * 0.5);  // recirculation: much slower/reversed
+}
+
+TEST(Lbm, StokesFlowIsSymmetricInY) {
+  // The cavity setup is symmetric under y-reflection; at low lid speed
+  // (Stokes regime) the velocity field must inherit the symmetry.
+  const int n = 12;
+  Geometry geo = Geometry::cavity(n, n, n);
+  LbmConfig cfg;
+  cfg.lid_velocity = {0.02, 0, 0};
+  Lattice a(n, n, n), b(n, n, n);
+  a.init_equilibrium(1.0, {0, 0, 0});
+  b.init_equilibrium(1.0, {0, 0, 0});
+  ReferenceLbm solver(geo, cfg);
+  solver.run(a, b, 30);
+  for (int k = 1; k < n - 1; ++k)
+    for (int j = 1; j < n / 2; ++j) {
+      const auto u1 = a.velocity(n / 2, j, k);
+      const auto u2 = a.velocity(n / 2, n - 1 - j, k);
+      EXPECT_NEAR(u1[0], u2[0], 1e-11);
+      EXPECT_NEAR(u1[1], -u2[1], 1e-11);
+    }
+}
+
+// ---- pipelined equivalence ----------------------------------------------
+
+struct LbmCase {
+  int teams, t, T;
+  core::SyncMode sync = core::SyncMode::kRelaxed;
+  core::BlockSize block{5, 4, 3};
+};
+
+class LbmEquivalence : public ::testing::TestWithParam<LbmCase> {};
+
+TEST_P(LbmEquivalence, PipelinedMatchesReference) {
+  const LbmCase c = GetParam();
+  const int n = 14;
+  Geometry geo = Geometry::cavity(n, n, n);
+  // An interior obstacle exercises bounce-back inside the blocks.
+  geo.set(n / 2, n / 2, n / 2, Cell::kWall);
+  geo.set(n / 2 + 1, n / 2, n / 2, Cell::kWall);
+  LbmConfig cfg;
+  cfg.omega = 1.3;
+  cfg.lid_velocity = {0.05, 0.01, 0};
+
+  core::PipelineConfig pc;
+  pc.teams = c.teams;
+  pc.team_size = c.t;
+  pc.steps_per_thread = c.T;
+  pc.sync = c.sync;
+  pc.block = c.block;
+  pc.du = 3;
+
+  auto fresh = [&] {
+    Lattice l(n, n, n);
+    l.init_equilibrium(1.0, {0, 0, 0});
+    return l;
+  };
+  Lattice ra = fresh(), rb = fresh(), pa = fresh(), pb = fresh();
+
+  PipelinedLbm pipelined(geo, cfg, pc);
+  const int sweeps = 2;
+  const int steps = sweeps * pc.levels_per_sweep();
+  ReferenceLbm reference(geo, cfg);
+  reference.run(ra, rb, steps);
+  pipelined.run(pa, pb, sweeps);
+
+  Lattice& ref_result = (steps % 2 == 0) ? ra : rb;
+  Lattice& pipe_result = pipelined.result(pa, pb, sweeps);
+  EXPECT_EQ(pipe_result.max_abs_diff(ref_result), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LbmEquivalence,
+    ::testing::Values(LbmCase{1, 1, 1}, LbmCase{1, 2, 1}, LbmCase{1, 2, 2},
+                      LbmCase{2, 2, 1}, LbmCase{1, 4, 1},
+                      LbmCase{1, 3, 2},
+                      LbmCase{2, 2, 1, core::SyncMode::kBarrier},
+                      LbmCase{1, 2, 2, core::SyncMode::kRelaxed,
+                              core::BlockSize{14, 14, 2}},
+                      LbmCase{1, 2, 2, core::SyncMode::kRelaxed,
+                              core::BlockSize{2, 2, 2}}));
+
+TEST(Lbm, PipelinedRejectsCompressedScheme) {
+  core::PipelineConfig pc;
+  pc.scheme = core::GridScheme::kCompressed;
+  EXPECT_THROW(PipelinedLbm(Geometry::cavity(8, 8, 8), LbmConfig{}, pc),
+               std::invalid_argument);
+}
+
+TEST(Lbm, CodeBalanceMotivation) {
+  // D3Q19 moves ~19x more bytes per update than the Jacobi stencil —
+  // the reason the paper motivates temporal blocking with LBM.
+  EXPECT_EQ(bytes_per_update_nt(), 19 * 16.0);
+  EXPECT_GT(bytes_per_update_two_lattice() / 24.0, 15.0);
+}
+
+}  // namespace
+}  // namespace tb::lbm

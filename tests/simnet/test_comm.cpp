@@ -1,0 +1,242 @@
+// Tests for the in-process message-passing runtime (SimMPI).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simnet/comm.hpp"
+
+namespace tb::simnet {
+namespace {
+
+TEST(World, RejectsZeroRanks) {
+  EXPECT_THROW(World(0), std::invalid_argument);
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  World world(2);
+  world.run([](Comm& comm) {
+    std::vector<double> buf{1.5, 2.5, 3.5};
+    if (comm.rank() == 0) {
+      comm.send(1, 7, buf);
+    } else {
+      std::vector<double> out(3);
+      comm.recv(0, 7, out);
+      EXPECT_EQ(out, (std::vector<double>{1.5, 2.5, 3.5}));
+    }
+  });
+}
+
+TEST(Comm, MessagesAreNonOvertaking) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (double v : {1.0, 2.0, 3.0, 4.0}) {
+        std::vector<double> m{v};
+        comm.send(1, 0, m);
+      }
+    } else {
+      for (double v : {1.0, 2.0, 3.0, 4.0}) {
+        std::vector<double> out(1);
+        comm.recv(0, 0, out);
+        EXPECT_EQ(out[0], v);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsSeparateStreams) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> a{1.0}, b{2.0};
+      comm.send(1, /*tag=*/10, a);
+      comm.send(1, /*tag=*/20, b);
+    } else {
+      std::vector<double> out(1);
+      comm.recv(0, 20, out);  // receive the later tag first
+      EXPECT_EQ(out[0], 2.0);
+      comm.recv(0, 10, out);
+      EXPECT_EQ(out[0], 1.0);
+    }
+  });
+}
+
+TEST(Comm, SendrecvExchangesSymmetrically) {
+  World world(2);
+  world.run([](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    std::vector<double> mine{static_cast<double>(comm.rank())};
+    std::vector<double> theirs(1);
+    comm.sendrecv(peer, 5, mine, peer, 5, theirs);
+    EXPECT_EQ(theirs[0], static_cast<double>(peer));
+  });
+}
+
+TEST(Comm, LengthMismatchThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> m{1.0, 2.0};
+      comm.send(1, 0, m);
+    } else {
+      std::vector<double> out(3);  // wrong size
+      comm.recv(0, 0, out);
+    }
+  }),
+               std::length_error);
+}
+
+TEST(Comm, BadRankThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    std::vector<double> m{1.0};
+    comm.send(5, 0, m);
+  }),
+               std::out_of_range);
+}
+
+TEST(Comm, AllreduceSum) {
+  const int ranks = 5;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    const double total = comm.allreduce_sum(comm.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(total, 15.0);  // 1+2+3+4+5
+  });
+}
+
+TEST(Comm, AllreduceMax) {
+  World world(4);
+  world.run([](Comm& comm) {
+    const double m = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(m, 3.0);
+  });
+}
+
+TEST(Comm, BackToBackCollectivesKeepValuesSeparate) {
+  World world(3);
+  world.run([](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      const double s =
+          comm.allreduce_sum(static_cast<double>(round * 10 + comm.rank()));
+      EXPECT_DOUBLE_EQ(s, 3.0 * round * 10 + 3.0);  // 0+1+2 offset
+    }
+  });
+}
+
+TEST(Comm, SimulatedTimeAdvancesWithMessageCost) {
+  NetworkModel model;
+  model.latency = 1e-6;
+  model.bandwidth = 1e9;
+  model.pack_overhead = 0.0;
+  World world(2, model);
+  world.run([&](Comm& comm) {
+    std::vector<double> buf(125000);  // 1 MB
+    if (comm.rank() == 0) {
+      comm.send(1, 0, buf);
+      // Sender is busy for latency + bytes/bw = 1 us + 1 ms.
+      EXPECT_NEAR(comm.sim_time(), 1.001e-3, 1e-9);
+    } else {
+      comm.recv(0, 0, buf);
+      EXPECT_GE(comm.sim_time(), 1.001e-3);  // >= sender completion
+    }
+  });
+  EXPECT_GE(world.max_sim_time(), 1.001e-3);
+}
+
+TEST(Comm, PackOverheadScalesMessageCost) {
+  NetworkModel model;
+  model.latency = 0;
+  model.bandwidth = 1e9;
+  model.pack_overhead = 1.0;  // copying costs as much as the transfer
+  EXPECT_DOUBLE_EQ(model.message_seconds(1000000), 2e-3);
+}
+
+TEST(Comm, ComputeChargesSimTime) {
+  World world(1);
+  world.run([](Comm& comm) {
+    comm.compute(0.25);
+    comm.compute(0.25);
+    EXPECT_DOUBLE_EQ(comm.sim_time(), 0.5);
+  });
+  EXPECT_DOUBLE_EQ(world.sim_time(0), 0.5);
+}
+
+TEST(Comm, CollectiveSynchronizesClocks) {
+  World world(3);
+  world.run([](Comm& comm) {
+    comm.compute(comm.rank() == 2 ? 1.0 : 0.1);
+    comm.barrier();
+    EXPECT_GE(comm.sim_time(), 1.0);  // all clocks pulled to the max
+  });
+}
+
+TEST(Comm, TrafficCountersTrackBytesAndMessages) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> m(10);
+      comm.send(1, 0, m);
+      comm.send(1, 1, m);
+      EXPECT_EQ(comm.bytes_sent(), 2u * 10 * sizeof(double));
+      EXPECT_EQ(comm.messages_sent(), 2u);
+    } else {
+      std::vector<double> out(10);
+      comm.recv(0, 0, out);
+      comm.recv(0, 1, out);
+      EXPECT_EQ(comm.bytes_sent(), 0u);
+    }
+  });
+}
+
+TEST(Comm, ExceptionInRankFnPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank failure");
+    // rank 0 terminates normally without waiting for rank 1
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, ManyRanksRingExchange) {
+  const int ranks = 16;
+  World world(ranks);
+  world.run([&](Comm& comm) {
+    const int next = (comm.rank() + 1) % ranks;
+    const int prev = (comm.rank() + ranks - 1) % ranks;
+    std::vector<double> token{static_cast<double>(comm.rank())};
+    std::vector<double> got(1);
+    comm.sendrecv(next, 3, token, prev, 3, got);
+    EXPECT_EQ(got[0], static_cast<double>(prev));
+  });
+}
+
+TEST(CartTopology, CoordsRoundTrip) {
+  CartTopology topo(24, {4, 3, 2});
+  for (int r = 0; r < 24; ++r)
+    EXPECT_EQ(topo.rank_of(topo.coords_of(r)), r);
+}
+
+TEST(CartTopology, NeighborsRespectBoundaries) {
+  CartTopology topo(8, {2, 2, 2});
+  EXPECT_EQ(topo.neighbor(0, 0, -1), -1);  // at the low x face
+  EXPECT_EQ(topo.neighbor(0, 0, +1), 1);
+  EXPECT_EQ(topo.neighbor(0, 1, +1), 2);
+  EXPECT_EQ(topo.neighbor(0, 2, +1), 4);
+  EXPECT_EQ(topo.neighbor(7, 2, +1), -1);  // at the high z face
+}
+
+TEST(CartTopology, RejectsBadDims) {
+  EXPECT_THROW(CartTopology(7, {2, 2, 2}), std::invalid_argument);
+}
+
+TEST(NetworkModel, CollectiveCostIsLogarithmic) {
+  NetworkModel m;
+  EXPECT_DOUBLE_EQ(m.collective_seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.collective_seconds(2), m.latency);
+  EXPECT_DOUBLE_EQ(m.collective_seconds(8), 3 * m.latency);
+  EXPECT_DOUBLE_EQ(m.collective_seconds(9), 4 * m.latency);
+}
+
+}  // namespace
+}  // namespace tb::simnet
