@@ -142,7 +142,10 @@ inline void wait_for_clearance(const ProgressCounters& counters,
     }
   }
   backoff.reset();
-  if (b.check_upper) {
+  // The successor bound: p + 1 < size() always holds when check_upper is
+  // set (the overall rear thread has check_upper == false); spelling it out
+  // keeps GCC's inliner from flagging a phantom out-of-bounds atomic load.
+  if (b.check_upper && p + 1 < counters.size()) {
     while (done - counters.load(p + 1) > b.du) backoff.pause();
   }
 }

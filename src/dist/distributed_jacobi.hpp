@@ -1,0 +1,440 @@
+// Distributed pipelined Jacobi on the in-process rank runtime (Sec. 2.1).
+//
+// The global grid is block-decomposed over a 3-D Cartesian process grid.
+// Each rank owns a box of interior cells surrounded by a ghost region of
+// width h = levels_per_sweep().  One *epoch* advances the whole domain by
+// h time levels: a multi-layer halo exchange (x -> y -> z, so edge and
+// corner data propagates in two respectively three hops) refreshes the
+// ghost layers once, then the rank-local pipelined solver performs the h
+// levels with per-level update regions that shrink into the ghost zone by
+// one cell per level — exactly the "shifting the block by one cell in each
+// direction after an update" geometry of the shared-memory scheme, applied
+// at the subdomain boundary.
+//
+// Bit compatibility: every cell update evaluates the identical
+// floating-point expression as the naive reference solver, and the ghost
+// exchange transports exact IEEE doubles, so the decomposed solver is
+// bit-identical to the single-rank run for any process grid.
+//
+// Timing: data movement is real; *time* is simulated.  Communication
+// advances the per-rank clocks through the NetworkModel; computation is
+// charged via Comm::compute() at a modeled proc_lups rate.  In overlap
+// mode sends are non-blocking and the inner-cell computation is charged
+// before the ghost receives, so the receive wait absorbs the inner work —
+// the paper's Sec. 3 outlook.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/pipeline.hpp"
+#include "simnet/comm.hpp"
+
+namespace tb::dist {
+
+/// Parameters of the distributed solve.
+struct DistConfig {
+  std::array<int, 3> proc_dims{1, 1, 1};  ///< Cartesian process grid
+  core::PipelineConfig pipeline{};        ///< per-rank pipeline parameters
+  double proc_lups = 1.0e9;  ///< modeled per-rank update rate [LUP/s]
+  bool overlap = false;      ///< overlap communication with inner updates
+};
+
+/// Communication volume observed by one rank.
+struct CommVolume {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Result of DistributedJacobi::advance on the calling rank.
+struct DistStats {
+  double sim_seconds = 0.0;  ///< simulated clock at the end of the call
+  CommVolume comm;           ///< volume sent during the call
+  int levels = 0;            ///< time levels advanced
+};
+
+/// Executing distributed solver: one instance per rank, constructed inside
+/// World::run.
+class DistributedJacobi {
+ public:
+  DistributedJacobi(simnet::Comm& comm, const DistConfig& cfg,
+                    const core::Grid3& global_initial)
+      : comm_(comm),
+        cfg_(cfg),
+        topo_(comm.size(), cfg.proc_dims),
+        halo_(cfg.pipeline.levels_per_sweep()),
+        global_n_{global_initial.nx(), global_initial.ny(),
+                  global_initial.nz()} {
+    const std::array<int, 3> coords = topo_.coords_of(comm.rank());
+    for (int d = 0; d < 3; ++d) {
+      const int interior = global_n_[d] - 2;
+      const int parts = cfg.proc_dims[d];
+      if (interior < parts)
+        throw std::invalid_argument(
+            "DistributedJacobi: more ranks than interior cells");
+      // The minimum share of the balanced partition is interior/parts
+      // (some ranks get one more).  The admissibility check must depend
+      // only on the *global* geometry: if it looked at this rank's own
+      // share, ranks of an uneven partition would disagree on whether to
+      // throw and the surviving ranks would deadlock in the exchange.
+      if (parts > 1 && interior / parts < halo_)
+        throw std::invalid_argument(
+            "DistributedJacobi: subdomain thinner than the halo width");
+      const auto [lo, cnt] = owned_range(d, coords[d]);
+      own_lo_[d] = lo;
+      own_[d] = cnt;
+      neighbor_lo_[d] = topo_.neighbor(comm.rank(), d, -1);
+      neighbor_hi_[d] = topo_.neighbor(comm.rank(), d, +1);
+      local_n_[d] = own_[d] + 2 * halo_;
+    }
+
+    a_ = core::Grid3(local_n_[0], local_n_[1], local_n_[2]);
+    b_ = core::Grid3(local_n_[0], local_n_[1], local_n_[2]);
+    // Both grids start as the local window of the global initial state:
+    // the Dirichlet boundary must be present in both (levels alternate
+    // grids), and out-of-domain ghost cells are zero-filled, never read.
+    a_.fill(0.0);
+    for (int k = 0; k < local_n_[2]; ++k)
+      for (int j = 0; j < local_n_[1]; ++j)
+        for (int i = 0; i < local_n_[0]; ++i) {
+          const int gi = to_global(i, 0), gj = to_global(j, 1),
+                    gk = to_global(k, 2);
+          if (gi >= 0 && gi < global_n_[0] && gj >= 0 && gj < global_n_[1] &&
+              gk >= 0 && gk < global_n_[2])
+            a_.at(i, j, k) = global_initial.at(gi, gj, gk);
+        }
+    b_ = a_.clone();
+
+    solver_.emplace(cfg.pipeline, level_clips());
+  }
+
+  /// Advances the global solution by `epochs` * h time levels.  Collective:
+  /// every rank of the world must call it with the same arguments.
+  DistStats advance(int epochs) {
+    const std::uint64_t bytes0 = comm_.bytes_sent();
+    const std::uint64_t msgs0 = comm_.messages_sent();
+    const double full = compute_seconds(/*inner_only=*/false);
+    const double inner = cfg_.overlap ? compute_seconds(/*inner_only=*/true)
+                                      : 0.0;
+    for (int e = 0; e < epochs; ++e) {
+      if (cfg_.overlap)
+        exchange_halos_overlapped(inner);
+      else
+        exchange_halos_sequential();
+      comm_.compute(full - inner);
+      solver_->run(a_, b_, 1, base_level_);
+      base_level_ += halo_;
+    }
+    DistStats st;
+    st.sim_seconds = comm_.sim_time();
+    st.comm.bytes = comm_.bytes_sent() - bytes0;
+    st.comm.messages = comm_.messages_sent() - msgs0;
+    st.levels = epochs * halo_;
+    return st;
+  }
+
+  /// Collects the owned cells of every rank into `*out` on the root rank
+  /// (pass nullptr on all other ranks).  `out` must have the global shape;
+  /// its Dirichlet boundary is left untouched.  Collective.
+  void gather(core::Grid3* out, int root = 0) {
+    const core::Grid3& cur = current();
+    if (comm_.rank() == root) {
+      if (out == nullptr)
+        throw std::invalid_argument("DistributedJacobi: root needs a grid");
+      if (out->nx() != global_n_[0] || out->ny() != global_n_[1] ||
+          out->nz() != global_n_[2])
+        throw std::invalid_argument("DistributedJacobi: gather shape");
+      for (int r = 0; r < comm_.size(); ++r) {
+        std::array<int, 3> lo, cnt;
+        for (int d = 0; d < 3; ++d)
+          std::tie(lo[d], cnt[d]) = owned_range(d, topo_.coords_of(r)[d]);
+        std::vector<double> buf(static_cast<std::size_t>(cnt[0]) * cnt[1] *
+                                cnt[2]);
+        if (r == root) {
+          pack_owned(cur, buf);
+        } else {
+          comm_.recv(r, kGatherTag, buf);
+        }
+        std::size_t p = 0;
+        for (int k = 0; k < cnt[2]; ++k)
+          for (int j = 0; j < cnt[1]; ++j)
+            for (int i = 0; i < cnt[0]; ++i)
+              out->at(lo[0] + i, lo[1] + j, lo[2] + k) = buf[p++];
+      }
+    } else {
+      std::vector<double> buf(static_cast<std::size_t>(own_[0]) * own_[1] *
+                              own_[2]);
+      pack_owned(cur, buf);
+      comm_.send(root, kGatherTag, buf);
+    }
+  }
+
+  [[nodiscard]] int halo() const { return halo_; }
+  [[nodiscard]] const std::array<int, 3>& owned_extent() const {
+    return own_;
+  }
+
+ private:
+  static constexpr int kGatherTag = 64;
+
+  /// Balanced partition of the global interior along dimension d:
+  /// {first owned global index, owned cell count} of process coordinate c.
+  /// The single source of truth for the decomposition — the constructor
+  /// and gather() must agree on it.
+  [[nodiscard]] std::pair<int, int> owned_range(int d, int c) const {
+    const int interior = global_n_[d] - 2;
+    const int parts = cfg_.proc_dims[d];
+    const int lo = 1 + static_cast<int>(1LL * c * interior / parts);
+    const int next = 1 + static_cast<int>(1LL * (c + 1) * interior / parts);
+    return {lo, next - lo};
+  }
+
+  [[nodiscard]] int to_global(int local, int d) const {
+    return own_lo_[d] - halo_ + local;
+  }
+  [[nodiscard]] int to_local(int global, int d) const {
+    return global - own_lo_[d] + halo_;
+  }
+
+  /// Grid holding the current base time level.
+  [[nodiscard]] core::Grid3& current() {
+    return base_level_ % 2 == 0 ? a_ : b_;
+  }
+
+  /// Per-level update regions in local coordinates: level s may update
+  /// cells at ghost depth <= h - s on sides with a neighbour, and only the
+  /// global interior on physical-boundary sides.
+  [[nodiscard]] std::vector<core::LevelClip> level_clips() const {
+    std::vector<core::LevelClip> clips(static_cast<std::size_t>(halo_));
+    for (int s = 1; s <= halo_; ++s) {
+      core::LevelClip& c = clips[static_cast<std::size_t>(s - 1)];
+      for (int d = 0; d < 3; ++d) {
+        c.lo[d] = neighbor_lo_[d] >= 0 ? s : halo_;
+        c.hi[d] =
+            neighbor_hi_[d] >= 0 ? local_n_[d] - s : halo_ + own_[d];
+      }
+    }
+    return clips;
+  }
+
+  /// Modeled seconds of one epoch's cell updates.  With `inner_only`,
+  /// only cells whose whole dependency cone stays inside owned data are
+  /// counted: a level-s update transitively reads base-level values
+  /// within distance s, so on a neighbour-facing side it must keep a
+  /// distance of s from the owned-region boundary to be computable
+  /// before the ghost layers arrive.
+  [[nodiscard]] double compute_seconds(bool inner_only) const {
+    long long cells = 0;
+    const std::vector<core::LevelClip> clips = level_clips();
+    for (int s = 1; s <= halo_; ++s) {
+      const core::LevelClip& c = clips[static_cast<std::size_t>(s - 1)];
+      long long full = 1, inner = 1;
+      for (int d = 0; d < 3; ++d) {
+        const int lo = neighbor_lo_[d] >= 0 ? halo_ + s : c.lo[d];
+        const int hi =
+            neighbor_hi_[d] >= 0 ? halo_ + own_[d] - s : c.hi[d];
+        full *= std::max(0, c.hi[d] - c.lo[d]);
+        inner *= std::max(0, hi - lo);
+      }
+      cells += inner_only ? inner : full;
+    }
+    return static_cast<double>(cells) / cfg_.proc_lups;
+  }
+
+  /// Multi-layer halo exchange of the base-level grid, x -> y -> z.  The
+  /// slab sent along dimension d spans the already-refreshed full extents
+  /// of dimensions < d, which carries edge and corner data in 2-3 hops —
+  /// 6 messages per interior rank per epoch, the paper's scheme.
+  void exchange_halos_sequential() {
+    core::Grid3& g = current();
+    for (int d = 0; d < 3; ++d) {
+      std::array<int, 3> lo{0, 0, 0}, hi{local_n_[0], local_n_[1],
+                                         local_n_[2]};
+      for (int e = 0; e < 3; ++e) {
+        if (e < d) {  // refreshed: full ghost where a neighbour exists
+          lo[e] = neighbor_lo_[e] >= 0 ? 0 : halo_ - 1;
+          hi[e] = neighbor_hi_[e] >= 0 ? local_n_[e] : halo_ + own_[e] + 1;
+        } else {  // not yet: owned cells plus the physical boundary layer
+          lo[e] = neighbor_lo_[e] >= 0 ? halo_ : halo_ - 1;
+          hi[e] = neighbor_hi_[e] >= 0 ? halo_ + own_[e]
+                                       : halo_ + own_[e] + 1;
+        }
+      }
+      // Post both sends first (buffered/eager, so this never deadlocks),
+      // then receive.  Tags encode (dimension, direction).
+      for (int side = 0; side < 2; ++side) {
+        const int nb = side == 0 ? neighbor_lo_[d] : neighbor_hi_[d];
+        if (nb < 0) continue;
+        std::array<int, 3> slo = lo, shi = hi;
+        slo[d] = side == 0 ? halo_ : own_[d];
+        shi[d] = slo[d] + halo_;
+        std::vector<double> buf;
+        pack(g, slo, shi, buf);
+        comm_.send(nb, face_tag(d, side), buf);
+      }
+      for (int side = 0; side < 2; ++side) {
+        const int nb = side == 0 ? neighbor_lo_[d] : neighbor_hi_[d];
+        if (nb < 0) continue;
+        std::array<int, 3> rlo = lo, rhi = hi;
+        rlo[d] = side == 0 ? 0 : halo_ + own_[d];
+        rhi[d] = rlo[d] + halo_;
+        std::vector<double> buf(box_cells(rlo, rhi));
+        comm_.recv(nb, face_tag(d, 1 - side), buf);
+        unpack(g, rlo, rhi, buf);
+      }
+    }
+  }
+
+  /// Overlapped exchange: every face, edge and corner box goes to its
+  /// neighbour as an independent non-blocking message, so no wire time
+  /// serializes behind another dimension's receive; the inner-cell
+  /// computation is charged between the sends and the receives, where a
+  /// real overlapped implementation would perform it.  The ghost region
+  /// receives exactly the same base-level doubles as the sequential
+  /// scheme (corner data travels directly instead of in two hops), so the
+  /// result stays bit-identical.
+  void exchange_halos_overlapped(double inner_seconds) {
+    core::Grid3& g = current();
+    std::vector<std::array<int, 3>> dirs;
+    for (int vz = -1; vz <= 1; ++vz)
+      for (int vy = -1; vy <= 1; ++vy)
+        for (int vx = -1; vx <= 1; ++vx) {
+          const std::array<int, 3> v{vx, vy, vz};
+          if (v == std::array<int, 3>{0, 0, 0}) continue;
+          if (diag_neighbor(v) >= 0) dirs.push_back(v);
+        }
+    for (const auto& v : dirs) {
+      std::array<int, 3> lo, hi;
+      for (int d = 0; d < 3; ++d) {
+        if (v[d] > 0) {  // our topmost owned layers
+          lo[d] = own_[d];
+          hi[d] = own_[d] + halo_;
+        } else if (v[d] < 0) {  // our bottommost owned layers
+          lo[d] = halo_;
+          hi[d] = 2 * halo_;
+        } else {  // owned cells plus the physical boundary layer
+          lo[d] = neighbor_lo_[d] >= 0 ? halo_ : halo_ - 1;
+          hi[d] = neighbor_hi_[d] >= 0 ? halo_ + own_[d]
+                                       : halo_ + own_[d] + 1;
+        }
+      }
+      std::vector<double> buf;
+      pack(g, lo, hi, buf);
+      comm_.isend(diag_neighbor(v), dir_tag(v), buf);
+    }
+    comm_.compute(inner_seconds);
+    for (const auto& v : dirs) {
+      std::array<int, 3> lo, hi;
+      for (int d = 0; d < 3; ++d) {
+        if (v[d] > 0) {  // ghost region beyond our top face
+          lo[d] = halo_ + own_[d];
+          hi[d] = halo_ + own_[d] + halo_;
+        } else if (v[d] < 0) {  // ghost region below our bottom face
+          lo[d] = 0;
+          hi[d] = halo_;
+        } else {
+          lo[d] = neighbor_lo_[d] >= 0 ? halo_ : halo_ - 1;
+          hi[d] = neighbor_hi_[d] >= 0 ? halo_ + own_[d]
+                                       : halo_ + own_[d] + 1;
+        }
+      }
+      std::vector<double> buf(box_cells(lo, hi));
+      // The neighbour tagged its message with the direction from *its*
+      // perspective, which is -v.
+      comm_.recv(diag_neighbor(v), dir_tag({-v[0], -v[1], -v[2]}), buf);
+      unpack(g, lo, hi, buf);
+    }
+  }
+
+  /// Rank of the (possibly diagonal) neighbour offset by `v`; -1 if it
+  /// falls outside the process grid.
+  [[nodiscard]] int diag_neighbor(const std::array<int, 3>& v) const {
+    std::array<int, 3> c = topo_.coords_of(comm_.rank());
+    for (int d = 0; d < 3; ++d) {
+      c[d] += v[d];
+      if (c[d] < 0 || c[d] >= cfg_.proc_dims[d]) return -1;
+    }
+    return topo_.rank_of(c);
+  }
+
+  [[nodiscard]] static int face_tag(int d, int side) { return d * 2 + side; }
+
+  /// Tags 10..36: base-3 encoding of the direction vector, disjoint from
+  /// the face tags (0..5) and the gather tag.
+  [[nodiscard]] static int dir_tag(const std::array<int, 3>& v) {
+    return 10 + (v[0] + 1) + 3 * (v[1] + 1) + 9 * (v[2] + 1);
+  }
+
+  [[nodiscard]] static std::size_t box_cells(const std::array<int, 3>& lo,
+                                             const std::array<int, 3>& hi) {
+    return static_cast<std::size_t>(hi[0] - lo[0]) *
+           static_cast<std::size_t>(hi[1] - lo[1]) *
+           static_cast<std::size_t>(hi[2] - lo[2]);
+  }
+
+  static void pack(const core::Grid3& g, const std::array<int, 3>& lo,
+                   const std::array<int, 3>& hi, std::vector<double>& buf) {
+    buf.resize(box_cells(lo, hi));
+    std::size_t p = 0;
+    for (int k = lo[2]; k < hi[2]; ++k)
+      for (int j = lo[1]; j < hi[1]; ++j)
+        for (int i = lo[0]; i < hi[0]; ++i) buf[p++] = g.at(i, j, k);
+  }
+
+  static void unpack(core::Grid3& g, const std::array<int, 3>& lo,
+                     const std::array<int, 3>& hi,
+                     const std::vector<double>& buf) {
+    std::size_t p = 0;
+    for (int k = lo[2]; k < hi[2]; ++k)
+      for (int j = lo[1]; j < hi[1]; ++j)
+        for (int i = lo[0]; i < hi[0]; ++i) g.at(i, j, k) = buf[p++];
+  }
+
+  void pack_owned(const core::Grid3& g, std::vector<double>& buf) const {
+    std::size_t p = 0;
+    for (int k = 0; k < own_[2]; ++k)
+      for (int j = 0; j < own_[1]; ++j)
+        for (int i = 0; i < own_[0]; ++i)
+          buf[p++] = g.at(halo_ + i, halo_ + j, halo_ + k);
+  }
+
+  simnet::Comm& comm_;
+  DistConfig cfg_;
+  simnet::CartTopology topo_;
+  int halo_;
+  std::array<int, 3> global_n_;
+  std::array<int, 3> own_lo_{};    ///< global index of first owned cell
+  std::array<int, 3> own_{};       ///< owned cells per dimension
+  std::array<int, 3> local_n_{};   ///< local grid extents (own + 2h)
+  std::array<int, 3> neighbor_lo_{-1, -1, -1};
+  std::array<int, 3> neighbor_hi_{-1, -1, -1};
+  core::Grid3 a_, b_;
+  int base_level_ = 0;
+  std::optional<core::PipelinedJacobi> solver_;
+};
+
+/// Convenience driver: runs the distributed solver on a fresh World and
+/// gathers the final state into `*out` (which must be pre-sized to the
+/// global shape and already hold the boundary values, e.g. a clone of the
+/// initial grid).
+inline void run_distributed(int ranks, const DistConfig& cfg,
+                            const core::Grid3& initial, int epochs,
+                            core::Grid3* out) {
+  simnet::World world(ranks);
+  world.run([&](simnet::Comm& comm) {
+    DistributedJacobi solver(comm, cfg, initial);
+    solver.advance(epochs);
+    // gather() is collective and internally race-free: only the root rank
+    // writes *out, every other rank just sends.
+    solver.gather(comm.rank() == 0 ? out : nullptr);
+  });
+}
+
+}  // namespace tb::dist

@@ -9,6 +9,7 @@
 #include <random>
 #include <thread>
 
+#include "support/grid_test_utils.hpp"
 #include "core/engine.hpp"
 #include "core/pipeline.hpp"
 #include "core/reference.hpp"
@@ -17,16 +18,8 @@
 namespace tb::core {
 namespace {
 
-Grid3 make_initial(int n) {
-  Grid3 g(n, n, n);
-  fill_test_pattern(g);
-  return g;
-}
-
-Grid3 reference_result(const Grid3& initial, int steps) {
-  Grid3 a = initial.clone(), b = initial.clone();
-  return reference_solve(a, b, steps).clone();
-}
+using tb::test::make_initial;
+using tb::test::reference_result;
 
 /// Runs the engine directly with jacobi windows plus injected delays.
 void run_with_delays(const PipelineConfig& cfg, Grid3& a, Grid3& b,

@@ -13,18 +13,14 @@
 
 #include <ostream>
 
+#include "support/grid_test_utils.hpp"
 #include "core/reference.hpp"
 #include "core/solver.hpp"
 
 namespace tb::core {
 namespace {
 
-Grid3 reference_result(const Grid3& initial, int steps) {
-  Grid3 a = initial.clone();
-  Grid3 b = initial.clone();
-  Grid3& r = reference_solve(a, b, steps);
-  return r.clone();
-}
+using tb::test::reference_result;
 
 struct Case {
   int teams = 1, t = 1, T = 1;

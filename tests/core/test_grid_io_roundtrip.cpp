@@ -1,0 +1,82 @@
+// Golden round-trip regression for the checkpoint format: a grid written
+// by save_checkpoint and read back by load_checkpoint must be *bitwise*
+// identical — the format stores raw IEEE doubles precisely so restarted
+// runs continue bit-identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/grid_io.hpp"
+#include "support/grid_test_utils.hpp"
+
+namespace tb::core {
+namespace {
+
+class GridIoRoundTrip : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::string temp_path(const char* name) {
+    path_ = std::string(::testing::TempDir()) + name;
+    return path_;
+  }
+
+  std::string path_;
+};
+
+TEST_F(GridIoRoundTrip, TestPatternSurvivesBitwise) {
+  for (const auto& [nx, ny, nz] : tb::test::kSmallShapes) {
+    Grid3 g(nx, ny, nz);
+    fill_test_pattern(g, 1.75);
+    const std::string path = temp_path("roundtrip.tbgrd");
+    ASSERT_TRUE(save_checkpoint(g, path));
+    const LoadResult r = load_checkpoint(path);
+    ASSERT_TRUE(r.ok);
+    tb::test::expect_grids_bitwise_equal(g, r.grid);
+  }
+}
+
+TEST_F(GridIoRoundTrip, AwkwardValuesSurviveBitwise) {
+  // Values whose bit patterns are easy to corrupt through text or float
+  // round-trips: denormals, negative zero, huge magnitudes, infinities.
+  Grid3 g(5, 4, 3);
+  g.fill(0.0);
+  g.at(0, 0, 0) = -0.0;
+  g.at(1, 0, 0) = 5e-324;   // smallest denormal
+  g.at(2, 0, 0) = -5e-324;
+  g.at(3, 0, 0) = 1.7976931348623157e308;
+  g.at(4, 0, 0) = 0.1;      // repeating binary fraction
+  g.at(0, 1, 1) = -1.0 / 3.0;
+  const std::string path = temp_path("awkward.tbgrd");
+  ASSERT_TRUE(save_checkpoint(g, path));
+  const LoadResult r = load_checkpoint(path);
+  ASSERT_TRUE(r.ok);
+  tb::test::expect_grids_bitwise_equal(g, r.grid);
+}
+
+TEST_F(GridIoRoundTrip, RejectsCorruptedMagic) {
+  Grid3 g(4, 4, 4);
+  fill_test_pattern(g);
+  const std::string path = temp_path("corrupt.tbgrd");
+  ASSERT_TRUE(save_checkpoint(g, path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const char bad = 'X';
+    std::fwrite(&bad, 1, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_checkpoint(path).ok);
+}
+
+TEST_F(GridIoRoundTrip, MissingFileFailsCleanly) {
+  EXPECT_FALSE(load_checkpoint("/nonexistent/dir/nope.tbgrd").ok);
+}
+
+}  // namespace
+}  // namespace tb::core

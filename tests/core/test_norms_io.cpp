@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/grid_test_utils.hpp"
 #include "core/grid_io.hpp"
 #include "core/norms.hpp"
 #include "core/reference.hpp"
@@ -13,11 +14,7 @@
 namespace tb::core {
 namespace {
 
-Grid3 make_initial(int n) {
-  Grid3 g(n, n, n);
-  fill_test_pattern(g);
-  return g;
-}
+using tb::test::make_initial;
 
 // ---- norms -------------------------------------------------------------
 

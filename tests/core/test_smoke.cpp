@@ -4,32 +4,13 @@
 #include "core/compressed.hpp"
 #include "core/reference.hpp"
 #include "core/solver.hpp"
+#include "support/grid_test_utils.hpp"
 
 namespace tb::core {
 namespace {
 
-Grid3 make_initial(int n) {
-  Grid3 g(n, n, n);
-  fill_test_pattern(g);
-  return g;
-}
-
-Grid3 run_reference(const Grid3& initial, int steps) {
-  Grid3 a(initial.nx(), initial.ny(), initial.nz());
-  Grid3 b(initial.nx(), initial.ny(), initial.nz());
-  for (int k = 0; k < a.nz(); ++k)
-    for (int j = 0; j < a.ny(); ++j)
-      for (int i = 0; i < a.nx(); ++i) {
-        a.at(i, j, k) = initial.at(i, j, k);
-        b.at(i, j, k) = initial.at(i, j, k);
-      }
-  Grid3& r = reference_solve(a, b, steps);
-  Grid3 out(a.nx(), a.ny(), a.nz());
-  for (int k = 0; k < a.nz(); ++k)
-    for (int j = 0; j < a.ny(); ++j)
-      for (int i = 0; i < a.nx(); ++i) out.at(i, j, k) = r.at(i, j, k);
-  return out;
-}
+using tb::test::make_initial;
+using tb::test::reference_result;
 
 TEST(Smoke, PipelinedTwoGridMatchesReference) {
   const int n = 20;
@@ -48,7 +29,7 @@ TEST(Smoke, PipelinedTwoGridMatchesReference) {
   JacobiSolver solver(sc, initial);
   const int steps = 2 * pc.levels_per_sweep();
   solver.advance(steps);
-  Grid3 expected = run_reference(initial, steps);
+  Grid3 expected = reference_result(initial, steps);
   EXPECT_EQ(max_abs_diff(solver.solution(), expected), 0.0);
 }
 
@@ -70,7 +51,7 @@ TEST(Smoke, CompressedMatchesReference) {
   JacobiSolver solver(sc, initial);
   const int steps = 3 * pc.levels_per_sweep();  // odd sweeps: ends backward
   solver.advance(steps);
-  Grid3 expected = run_reference(initial, steps);
+  Grid3 expected = reference_result(initial, steps);
   EXPECT_EQ(max_abs_diff(solver.solution(), expected), 0.0);
 }
 
@@ -83,7 +64,7 @@ TEST(Smoke, BaselineMatchesReference) {
   sc.baseline.block = {7, 3, 5};
   JacobiSolver solver(sc, initial);
   solver.advance(5);
-  Grid3 expected = run_reference(initial, 5);
+  Grid3 expected = reference_result(initial, 5);
   EXPECT_EQ(max_abs_diff(solver.solution(), expected), 0.0);
 }
 
@@ -102,7 +83,7 @@ TEST(Smoke, BarrierSyncMatchesReference) {
   JacobiSolver solver(sc, initial);
   const int steps = pc.levels_per_sweep();
   solver.advance(steps);
-  Grid3 expected = run_reference(initial, steps);
+  Grid3 expected = reference_result(initial, steps);
   EXPECT_EQ(max_abs_diff(solver.solution(), expected), 0.0);
 }
 

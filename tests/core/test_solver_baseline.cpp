@@ -1,23 +1,15 @@
 // Tests for the baseline (standard) solver and the JacobiSolver facade.
 #include <gtest/gtest.h>
 
+#include "support/grid_test_utils.hpp"
 #include "core/reference.hpp"
 #include "core/solver.hpp"
 
 namespace tb::core {
 namespace {
 
-Grid3 make_initial(int nx, int ny, int nz) {
-  Grid3 g(nx, ny, nz);
-  fill_test_pattern(g);
-  return g;
-}
-
-Grid3 reference_result(const Grid3& initial, int steps) {
-  Grid3 a = initial.clone();
-  Grid3 b = initial.clone();
-  return reference_solve(a, b, steps).clone();
-}
+using tb::test::make_initial;
+using tb::test::reference_result;
 
 // ---- baseline --------------------------------------------------------
 

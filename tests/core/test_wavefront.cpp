@@ -1,6 +1,7 @@
 // Tests of the wavefront comparator (Ref. [2]).
 #include <gtest/gtest.h>
 
+#include "support/grid_test_utils.hpp"
 #include "core/reference.hpp"
 #include "core/wavefront.hpp"
 #include "perfmodel/wavefront_model.hpp"
@@ -8,11 +9,7 @@
 namespace tb::core {
 namespace {
 
-Grid3 make_initial(int nx, int ny, int nz) {
-  Grid3 g(nx, ny, nz);
-  fill_test_pattern(g);
-  return g;
-}
+using tb::test::make_initial;
 
 struct WaveCase {
   int threads;
