@@ -13,6 +13,7 @@
 #include "core/solver.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -62,6 +63,11 @@ int main(int argc, char** argv) {
         rc.mlups / r2.mlups);
   t.print();
   t.write_csv("compressed_ablation.csv");
+  tb::util::write_bench_json(
+      "compressed",
+      {{"two-grid/jacobi", r2.mem_bytes / (1.0 * n * n * n * S), r2.mlups},
+       {"compressed/jacobi", rc.mem_bytes / (1.0 * n * n * n * S),
+        rc.mlups}});
 
   // Numerical cross-check on the host (small grid): both schemes must
   // produce bit-identical results.

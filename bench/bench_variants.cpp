@@ -1,0 +1,134 @@
+// Full-matrix host bench: every (variant x operator) combination of the
+// registry, measured on a real grid, cross-checked bit-identically
+// against the naive reference of the same operator, and emitted as
+// machine-readable BENCH_variants.json for the CI perf trajectory.
+//
+//   $ ./bench_variants [--n 64] [--steps 8] [--threads 2]
+//                      [--variant all|<name>] [--operator all|<name>]
+//
+// The bytes/LUP column is the modeled main-memory traffic per update:
+// 3 words (read + write + write-allocate) for a two-grid sweep, 2 words
+// when streaming stores or the compressed grid avoid the allocation,
+// amortized over the team-sweep depth for the temporally blocked
+// variants; the varcoef operator streams its six coefficient fields once
+// per team sweep on top.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/stencil_op.hpp"
+#include "util/args.hpp"
+#include "util/bench_report.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tb::core;
+
+/// Two-material kappa: a high-conductivity slab inside background.
+Grid3 make_kappa(int nx, int ny, int nz) {
+  Grid3 kappa(nx, ny, nz);
+  kappa.fill(1.0);
+  for (int k = nz / 3; k < 2 * nz / 3; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) kappa.at(i, j, k) = 50.0;
+  return kappa;
+}
+
+int sweep_depth(const SolverConfig& cfg) {
+  switch (cfg.variant) {
+    case Variant::kPipelined: return cfg.pipeline.levels_per_sweep();
+    case Variant::kWavefront: return cfg.wavefront.threads;
+    default: return 1;
+  }
+}
+
+double model_bytes_per_lup(const SolverConfig& cfg) {
+  const int S = sweep_depth(cfg);
+  const bool compressed = cfg.variant == Variant::kPipelined &&
+                          cfg.pipeline.scheme == GridScheme::kCompressed;
+  const bool streaming = cfg.variant == Variant::kBaseline &&
+                         cfg.baseline.nontemporal &&
+                         cfg.op == Operator::kJacobi;
+  double bytes = (compressed || streaming) ? 16.0 : 24.0;
+  if (cfg.op == Operator::kVarCoef) bytes += 6.0 * 8.0;  // face fields
+  return bytes / S;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 64));
+  const int steps = static_cast<int>(args.get_int("steps", 8));
+  const int threads = static_cast<int>(args.get_int("threads", 2));
+
+  std::vector<std::string> variants = registered_variants();
+  std::vector<std::string> operators = registered_operators();
+  {
+    std::vector<std::string> any = variants;
+    any.emplace_back("all");
+    const std::string v = args.get_choice("variant", "all", any);
+    if (v != "all") variants = {v};
+    any = operators;
+    any.emplace_back("all");
+    const std::string o = args.get_choice("operator", "all", any);
+    if (o != "all") operators = {o};
+  }
+
+  const Grid3 initial = [&] {
+    Grid3 g(n, n, n);
+    g.fill(0.0);
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) g.at(0, j, k) = 1.0;  // hot face
+    return g;
+  }();
+  const Grid3 kappa = make_kappa(n, n, n);
+
+  std::printf("=== variant x operator matrix, %d^3 grid, %d steps ===\n\n",
+              n, steps);
+  tb::util::TableWriter t(
+      {"variant", "operator", "MLUP/s (host)", "bytes/LUP (model)", "ok"});
+  std::vector<tb::util::BenchEntry> report;
+  bool all_ok = true;
+
+  for (const std::string& opname : operators) {
+    // One reference solution per operator; every variant must match it
+    // bit for bit.
+    SolverConfig refc;
+    refc.variant = Variant::kReference;
+    StencilSolver ref = make_solver("reference", opname, refc, initial,
+                                    &kappa);
+    ref.advance(steps);
+
+    for (const std::string& vname : variants) {
+      SolverConfig cfg;
+      cfg.baseline.threads = threads;
+      cfg.baseline.block = {n, 8, 8};
+      cfg.pipeline.teams = 1;
+      cfg.pipeline.team_size = threads;
+      cfg.pipeline.steps_per_thread = 2;
+      cfg.pipeline.block = {n, 8, 8};
+      cfg.pipeline.du = 4;
+      cfg.wavefront.threads = threads;
+
+      StencilSolver solver = make_solver(vname, opname, cfg, initial,
+                                         &kappa);
+      const RunStats st = solver.advance(steps);
+      const bool ok =
+          max_abs_diff(solver.solution(), ref.solution()) == 0.0;
+      all_ok = all_ok && ok;
+
+      const double bpl = model_bytes_per_lup(solver.config());
+      t.add(vname, opname, st.mlups(), bpl, ok ? "yes" : "NO");
+      report.push_back({vname + "/" + opname, bpl, st.mlups()});
+    }
+  }
+  t.print();
+  tb::util::write_bench_json("variants", report);
+
+  std::printf("\nall combinations bit-identical to reference: %s\n",
+              all_ok ? "yes" : "NO (bug!)");
+  return all_ok ? 0 : 1;
+}

@@ -9,12 +9,15 @@
 // degenerates to the standard memory-bound ceiling while pipelined
 // blocking keeps its speedup by shrinking blocks.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/reference.hpp"
 #include "core/wavefront.hpp"
 #include "perfmodel/wavefront_model.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   tb::util::TableWriter t({"grid", "wave WS [MiB]", "fits L3",
                            "Standard", "Wavefront t=4", "Pipelined T=1",
                            "Pipelined T=2"});
+  std::vector<tb::util::BenchEntry> report;
   for (int n : {100, 150, 200, 300, 450, 600}) {
     const std::array<int, 3> grid{n, n, n};
     const double std_mlups =
@@ -54,9 +58,15 @@ int main(int argc, char** argv) {
     t.add(std::to_string(n) + "^3", ws_mib,
           tb::perfmodel::wavefront_fits(m, n, n, 4) ? "yes" : "no",
           std_mlups, wave, pipe1, pipe2);
+    // bytes/LUP: 2 words for the streaming standard sweep, 3 words
+    // amortized over the depth for the temporally blocked schemes.
+    report.push_back({"standard/" + std::to_string(n), 16.0, std_mlups});
+    report.push_back({"wavefront4/" + std::to_string(n), 24.0 / 4, wave});
+    report.push_back({"pipelined4/" + std::to_string(n), 24.0 / 4, pipe1});
   }
   t.print();
   t.write_csv("wavefront_vs_pipeline.csv");
+  tb::util::write_bench_json("wavefront", report);
 
   std::printf(
       "\nmax wavefront depth that fits the 8 MiB L3: 600^2 planes -> t=%d, "

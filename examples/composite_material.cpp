@@ -3,16 +3,17 @@
 // variable-coefficient stencil on the pipelined temporal-blocking engine.
 //
 //   $ ./composite_material [--n 48] [--steps 600] [--kfiber 100]
-//                          [--vtk out.vtk]
+//                          [--variant pipelined] [--vtk out.vtk]
 //
 // Demonstrates that the paper's scheme is not Jacobi-specific: any update
 // reading only the 3^3 neighborhood of the previous level runs through
-// the same team pipeline (see core/varcoef.hpp).
+// the same team pipeline (see core/stencil_op.hpp) — and through any
+// other registry variant selected with --variant.
 #include <cstdio>
 
 #include "core/grid_io.hpp"
 #include "core/norms.hpp"
-#include "core/varcoef.hpp"
+#include "core/registry.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -46,26 +47,32 @@ int main(int argc, char** argv) {
   for (int k = 0; k < n; ++k)
     for (int j = 0; j < n; ++j) initial.at(0, j, k) = 1.0;
 
-  tb::core::PipelineConfig pc;
-  pc.teams = 1;
-  pc.team_size = static_cast<int>(args.get_int("t", 2));
-  pc.steps_per_thread = 2;
-  pc.block = {n, 12, 12};
-  pc.du = 3;
-  const int sweeps = std::max(1, steps_requested / pc.levels_per_sweep());
+  tb::core::SolverConfig cfg;
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = static_cast<int>(args.get_int("t", 2));
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {n, 12, 12};
+  cfg.pipeline.du = 3;
+  cfg.baseline.threads = cfg.pipeline.total_threads();
+  cfg.wavefront.threads = cfg.pipeline.total_threads();
+  const std::string variant = args.get_choice(
+      "variant", "pipelined", tb::core::registered_variants());
+  const int steps =
+      std::max(1, steps_requested / cfg.pipeline.levels_per_sweep()) *
+      cfg.pipeline.levels_per_sweep();
 
-  tb::core::PipelinedVarCoef solver(
-      pc, tb::core::DiffusionCoefficients(fiber_material(n, k_fiber)));
-  tb::core::Grid3 a = initial.clone(), b = initial.clone();
+  const tb::core::Grid3 kappa = fiber_material(n, k_fiber);
+  tb::core::StencilSolver solver =
+      make_solver(variant, "varcoef", cfg, initial, &kappa);
 
   tb::util::Timer timer;
-  const tb::core::RunStats st = solver.run(a, b, sweeps);
-  const tb::core::Grid3& u = solver.result(a, b, sweeps);
+  const tb::core::RunStats st = solver.advance(steps);
+  const tb::core::Grid3& u = solver.solution();
 
   std::printf(
-      "composite block %d^3, fiber kappa %.0f, %d steps: %.3f s, "
+      "composite block %d^3 (%s), fiber kappa %.0f, %d steps: %.3f s, "
       "%.1f MLUP/s (host)\n",
-      n, k_fiber, st.levels, timer.elapsed(), st.mlups());
+      n, variant.c_str(), k_fiber, st.levels, timer.elapsed(), st.mlups());
 
   // Heat penetrates much deeper along the fibers.  Probe a fiber away
   // from the cold walls (fibers sit at multiples of the pitch) and a

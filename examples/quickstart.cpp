@@ -2,13 +2,15 @@
 // blocking in ~40 lines.
 //
 //   $ ./quickstart [--n 128] [--steps 64] [--teams 1] [--t 2] [--T 2]
+//                  [--variant pipelined] [--operator jacobi]
 //
-// Sets up a cubic domain with a hot x=0 face, advances `steps` Jacobi
-// sweeps with the temporally blocked solver, and reports performance and
-// the center temperature.
+// Sets up a cubic domain with a hot x=0 face, advances `steps` sweeps of
+// the selected (variant, operator) combination — any registry pair works,
+// e.g. --variant wavefront --operator varcoef — and reports performance
+// and the center temperature.
 #include <cstdio>
 
-#include "core/solver.hpp"
+#include "core/registry.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -25,18 +27,33 @@ int main(int argc, char** argv) {
   // Configure the solver: one team of t threads sharing a cache, each
   // performing T in-cache updates per block (see README for tuning).
   tb::core::SolverConfig cfg;
-  cfg.variant = tb::core::Variant::kPipelined;
   cfg.pipeline.teams = static_cast<int>(args.get_int("teams", 1));
   cfg.pipeline.team_size = static_cast<int>(args.get_int("t", 2));
   cfg.pipeline.steps_per_thread = static_cast<int>(args.get_int("T", 2));
   cfg.pipeline.block = {n, 16, 16};
   cfg.pipeline.du = 4;
+  cfg.baseline.threads = cfg.pipeline.total_threads();
+  cfg.wavefront.threads = cfg.pipeline.total_threads();
+  tb::core::configure_from_args(cfg, args);  // --variant / --operator
 
-  tb::core::JacobiSolver solver(cfg, initial);
+  // The varcoef operator diffuses through a material field; default to a
+  // conductive slab across the domain's middle third.
+  tb::core::Grid3 kappa;
+  if (cfg.op == tb::core::Operator::kVarCoef) {
+    kappa = tb::core::Grid3(n, n, n);
+    kappa.fill(1.0);
+    for (int k = n / 3; k < 2 * n / 3; ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) kappa.at(i, j, k) = 50.0;
+  }
+
+  tb::core::StencilSolver solver = tb::core::make_solver(
+      tb::core::variant_name(cfg), to_string(cfg.op), cfg, initial, &kappa);
   const tb::core::RunStats stats = solver.advance(steps);
 
   const tb::core::Grid3& u = solver.solution();
-  std::printf("grid %d^3, %d sweeps with %s\n", n, steps,
+  std::printf("grid %d^3, %d sweeps with %s/%s (%s)\n", n, steps,
+              tb::core::variant_name(cfg).c_str(), to_string(cfg.op),
               cfg.pipeline.describe().c_str());
   std::printf("wall time      : %.3f s\n", stats.seconds);
   std::printf("performance    : %.1f MLUP/s (host)\n", stats.mlups());

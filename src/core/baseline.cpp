@@ -1,80 +1,10 @@
 #include "core/baseline.hpp"
 
-#include "core/kernels.hpp"
-#include "util/timer.hpp"
-
 namespace tb::core {
 
-BaselineJacobi::BaselineJacobi(const BaselineConfig& cfg, int nx, int ny,
-                               int nz)
-    : cfg_(cfg), nx_(nx), ny_(ny), nz_(nz), pool_(std::max(1, cfg.threads)) {
-  if (cfg.threads < 1)
-    throw std::invalid_argument("BaselineConfig: threads < 1");
-  if (cfg.block.bx < 1 || cfg.block.by < 1 || cfg.block.bz < 1)
-    throw std::invalid_argument("BaselineConfig: block extents < 1");
-}
-
-void BaselineJacobi::place_pages(Grid3& g) const {
-  topo::touch_pages(g.data(), g.size(), cfg_.placement, cfg_.threads);
-}
-
-void BaselineJacobi::sweep(const Grid3& src, Grid3& dst) {
-  // Interior extent and tile grid over (j, k); x is swept in bx chunks
-  // inside each tile to keep the inner loop long.
-  const int j0 = 1, j1 = ny_ - 1;
-  const int k0 = 1, k1 = nz_ - 1;
-  const int tiles_j = (j1 - j0 + cfg_.block.by - 1) / cfg_.block.by;
-  const int tiles_k = (k1 - k0 + cfg_.block.bz - 1) / cfg_.block.bz;
-  const long long tiles = 1LL * tiles_j * tiles_k;
-  const int workers = pool_.size();
-  const bool nt = cfg_.nontemporal && nontemporal_supported();
-
-  pool_.run([&, this](int w) {
-    // Static contiguous partition of the tile list: matches the
-    // first-touch initialization so each thread updates "its" pages.
-    const long long lo = tiles * w / workers;
-    const long long hi = tiles * (w + 1) / workers;
-    const Grid3& s = src;
-    Grid3& d = dst;
-    for (long long t = lo; t < hi; ++t) {
-      const int tj = static_cast<int>(t % tiles_j);
-      const int tk = static_cast<int>(t / tiles_j);
-      const int ja = j0 + tj * cfg_.block.by;
-      const int jb = std::min(ja + cfg_.block.by, j1);
-      const int ka = k0 + tk * cfg_.block.bz;
-      const int kb = std::min(ka + cfg_.block.bz, k1);
-      for (int k = ka; k < kb; ++k)
-        for (int j = ja; j < jb; ++j) {
-          for (int ia = 1; ia < nx_ - 1; ia += cfg_.block.bx) {
-            const int ib = std::min(ia + cfg_.block.bx, nx_ - 1);
-            if (nt) {
-              jacobi_row_nt(d.row(j, k), s.row(j, k), s.row(j - 1, k),
-                            s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                            ia, ib);
-            } else {
-              jacobi_row(d.row(j, k), s.row(j, k), s.row(j - 1, k),
-                         s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                         ia, ib);
-            }
-          }
-        }
-    }
-    if (nt) nontemporal_fence();
-  });
-}
-
-RunStats BaselineJacobi::run(Grid3& a, Grid3& b, int steps, int base_level) {
-  Grid3* grids[2] = {&a, &b};
-  RunStats stats;
-  util::Timer timer;
-  for (int s = 0; s < steps; ++s) {
-    const int global = base_level + s + 1;  // level being produced
-    sweep(*grids[(global + 1) % 2], *grids[global % 2]);
-  }
-  stats.seconds = timer.elapsed();
-  stats.levels = steps;
-  stats.cell_updates = 1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
-  return stats;
-}
+// Header-only template; instantiate the shipped operators here so the
+// hot sweep compiles (and vectorizes) as part of the library build.
+template class BaselineSolver<JacobiOp>;
+template class BaselineSolver<VarCoefOp>;
 
 }  // namespace tb::core

@@ -1,4 +1,5 @@
-// Standard (not temporally blocked) Jacobi solver — the paper's baseline.
+// Standard (not temporally blocked) solver — the paper's baseline —
+// generic over the stencil operator.
 //
 // Sec. 1.1: two grids written in turn, spatial blocking with a long inner
 // loop (bx comparable to the page size is favorable for the hardware
@@ -11,12 +12,16 @@
 // P0 = Ms / 16 bytes (Eq. (2)).
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"  // RunStats
+#include "core/stencil_op.hpp"
 #include "topo/placement.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace tb::core {
 
@@ -28,14 +33,40 @@ struct BaselineConfig {
   topo::PagePlacement placement = topo::PagePlacement::kFirstTouch;
 };
 
-/// Spatially blocked multi-threaded Jacobi on two grids.
-class BaselineJacobi {
+/// Spatially blocked multi-threaded sweeps on two grids, templated on the
+/// StencilOp (see core/stencil_op.hpp).
+template <class Op>
+class BaselineSolver {
  public:
-  BaselineJacobi(const BaselineConfig& cfg, int nx, int ny, int nz);
+  BaselineSolver(const BaselineConfig& cfg, int nx, int ny, int nz,
+                 Op op = Op{})
+      : cfg_(cfg),
+        op_(op),
+        nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        pool_(std::max(1, cfg.threads)) {
+    if (cfg.threads < 1)
+      throw std::invalid_argument("BaselineConfig: threads < 1");
+    if (cfg.block.bx < 1 || cfg.block.by < 1 || cfg.block.bz < 1)
+      throw std::invalid_argument("BaselineConfig: block extents < 1");
+  }
 
   /// Runs `steps` sweeps; `a` holds the starting level (global index
   /// `base_level`, even levels live in `a`).  Implicit barrier per sweep.
-  RunStats run(Grid3& a, Grid3& b, int steps, int base_level = 0);
+  RunStats run(Grid3& a, Grid3& b, int steps, int base_level = 0) {
+    Grid3* grids[2] = {&a, &b};
+    RunStats stats;
+    util::Timer timer;
+    for (int s = 0; s < steps; ++s) {
+      const int global = base_level + s + 1;  // level being produced
+      sweep(*grids[(global + 1) % 2], *grids[global % 2]);
+    }
+    stats.seconds = timer.elapsed();
+    stats.levels = steps;
+    stats.cell_updates = 1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
+    return stats;
+  }
 
   /// Grid holding the final level.
   [[nodiscard]] Grid3& result(Grid3& a, Grid3& b, int steps,
@@ -44,16 +75,66 @@ class BaselineJacobi {
   }
 
   /// Applies the configured page placement policy to a grid's storage.
-  void place_pages(Grid3& g) const;
+  void place_pages(Grid3& g) const {
+    topo::touch_pages(g.data(), g.size(), cfg_.placement, cfg_.threads);
+  }
 
   [[nodiscard]] const BaselineConfig& config() const { return cfg_; }
 
  private:
-  void sweep(const Grid3& src, Grid3& dst);
+  void sweep(const Grid3& src, Grid3& dst) {
+    // Interior extent and tile grid over (j, k); x is swept in bx chunks
+    // inside each tile to keep the inner loop long.
+    const int j0 = 1, j1 = ny_ - 1;
+    const int k0 = 1, k1 = nz_ - 1;
+    const int tiles_j = (j1 - j0 + cfg_.block.by - 1) / cfg_.block.by;
+    const int tiles_k = (k1 - k0 + cfg_.block.bz - 1) / cfg_.block.bz;
+    const long long tiles = 1LL * tiles_j * tiles_k;
+    const int workers = pool_.size();
+    const bool nt =
+        cfg_.nontemporal && Op::kHasNontemporal && nontemporal_supported();
+
+    pool_.run([&, this](int w) {
+      // Static contiguous partition of the tile list: matches the
+      // first-touch initialization so each thread updates "its" pages.
+      const long long lo = tiles * w / workers;
+      const long long hi = tiles * (w + 1) / workers;
+      const Grid3& s = src;
+      Grid3& d = dst;
+      for (long long t = lo; t < hi; ++t) {
+        const int tj = static_cast<int>(t % tiles_j);
+        const int tk = static_cast<int>(t / tiles_j);
+        const int ja = j0 + tj * cfg_.block.by;
+        const int jb = std::min(ja + cfg_.block.by, j1);
+        const int ka = k0 + tk * cfg_.block.bz;
+        const int kb = std::min(ka + cfg_.block.bz, k1);
+        for (int k = ka; k < kb; ++k)
+          for (int j = ja; j < jb; ++j) {
+            for (int ia = 1; ia < nx_ - 1; ia += cfg_.block.bx) {
+              const int ib = std::min(ia + cfg_.block.bx, nx_ - 1);
+              if (nt) {
+                op_.row_nt(d.row(j, k), s.row(j, k), s.row(j - 1, k),
+                           s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
+                           j, k, ia, ib);
+              } else {
+                op_.row(d.row(j, k), s.row(j, k), s.row(j - 1, k),
+                        s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
+                        j, k, ia, ib);
+              }
+            }
+          }
+      }
+      if (nt) nontemporal_fence();
+    });
+  }
 
   BaselineConfig cfg_;
+  Op op_;
   int nx_, ny_, nz_;
   util::ThreadPool pool_;
 };
+
+/// The constant-coefficient instantiation (the paper's baseline).
+using BaselineJacobi = BaselineSolver<JacobiOp>;
 
 }  // namespace tb::core

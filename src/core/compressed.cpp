@@ -1,133 +1,10 @@
 #include "core/compressed.hpp"
 
-#include "core/kernels.hpp"
-#include "util/timer.hpp"
-
 namespace tb::core {
 
-namespace {
-
-/// Every level's window may cover the full domain [0, n) including the
-/// boundary faces (which are copied, not stenciled).
-std::vector<LevelClip> full_clips(int nx, int ny, int nz, int levels) {
-  LevelClip c;
-  c.lo = {0, 0, 0};
-  c.hi = {nx, ny, nz};
-  return std::vector<LevelClip>(static_cast<std::size_t>(levels), c);
-}
-
-}  // namespace
-
-CompressedJacobi::CompressedJacobi(const PipelineConfig& cfg, int nx, int ny,
-                                   int nz)
-    : nx_(nx),
-      ny_(ny),
-      nz_(nz),
-      shift_span_(cfg.levels_per_sweep()),
-      store_(nx + shift_span_, ny + shift_span_, nz + shift_span_),
-      margin_(shift_span_),
-      engine_(cfg, BlockPlan(cfg.block,
-                             full_clips(nx, ny, nz, cfg.levels_per_sweep()),
-                             /*bidirectional=*/true)) {
-  if (cfg.scheme != GridScheme::kCompressed)
-    throw std::invalid_argument(
-        "CompressedJacobi: config.scheme must be kCompressed");
-  store_.fill(0.0);
-}
-
-void CompressedJacobi::load(const Grid3& initial) {
-  if (initial.nx() != nx_ || initial.ny() != ny_ || initial.nz() != nz_)
-    throw std::invalid_argument("CompressedJacobi::load: shape mismatch");
-  margin_ = shift_span_;
-  levels_done_ = 0;
-  for (int k = 0; k < nz_; ++k)
-    for (int j = 0; j < ny_; ++j)
-      for (int i = 0; i < nx_; ++i)
-        store_.at(i + margin_, j + margin_, k + margin_) =
-            initial.at(i, j, k);
-}
-
-void CompressedJacobi::store(Grid3& out) const {
-  if (out.nx() != nx_ || out.ny() != ny_ || out.nz() != nz_)
-    throw std::invalid_argument("CompressedJacobi::store: shape mismatch");
-  for (int k = 0; k < nz_; ++k)
-    for (int j = 0; j < ny_; ++j)
-      for (int i = 0; i < nx_; ++i)
-        out.at(i, j, k) = store_.at(i + margin_, j + margin_, k + margin_);
-}
-
-void CompressedJacobi::process_window(int level, const Box& w, bool forward,
-                                      int m_start) {
-  // Margins of the destination (this level) and source (previous level).
-  const int m_dst = forward ? m_start - level : m_start + level;
-  const int m_src = forward ? m_dst + 1 : m_dst - 1;
-
-  const int last_x = nx_ - 1, last_y = ny_ - 1, last_z = nz_ - 1;
-  // Stencil sub-range of the window in x (boundary cells handled apart).
-  const int sx0 = std::max(w.lo[0], 1);
-  const int sx1 = std::min(w.hi[0], last_x);
-
-  auto src_row = [&](int j, int k) {
-    return store_.row(j + m_src, k + m_src) + m_src;
-  };
-  auto dst_row = [&](int j, int k) {
-    return store_.row(j + m_dst, k + m_dst) + m_dst;
-  };
-
-  // Traversal direction must match the shift direction: descending for the
-  // (+1,+1,+1) sweeps, ascending otherwise.
-  const int k_first = forward ? w.lo[2] : w.hi[2] - 1;
-  const int k_last = forward ? w.hi[2] : w.lo[2] - 1;
-  const int step = forward ? 1 : -1;
-
-  for (int k = k_first; k != k_last; k += step) {
-    const bool k_bound = (k == 0 || k == last_z);
-    const int j_first = forward ? w.lo[1] : w.hi[1] - 1;
-    const int j_last = forward ? w.hi[1] : w.lo[1] - 1;
-    for (int j = j_first; j != j_last; j += step) {
-      double* dst = dst_row(j, k);
-      const double* src = src_row(j, k);
-      if (k_bound || j == 0 || j == last_y) {
-        // Boundary row: shift (copy) the Dirichlet values.
-        for (int i = w.lo[0]; i < w.hi[0]; ++i) dst[i] = src[i];
-        continue;
-      }
-      if (w.lo[0] == 0) dst[0] = src[0];
-      if (sx0 < sx1) {
-        const double* jm = src_row(j - 1, k);
-        const double* jp = src_row(j + 1, k);
-        const double* km = src_row(j, k - 1);
-        const double* kp = src_row(j, k + 1);
-        if (forward) {
-          jacobi_row(dst, src, jm, jp, km, kp, sx0, sx1);
-        } else {
-          jacobi_row_reverse(dst, src, jm, jp, km, kp, sx0, sx1);
-        }
-      }
-      if (w.hi[0] == nx_) dst[last_x] = src[last_x];
-    }
-  }
-}
-
-RunStats CompressedJacobi::run(int sweeps) {
-  RunStats stats;
-  util::Timer timer;
-  const int levels_per_sweep = engine_.config().levels_per_sweep();
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    const bool forward = (margin_ == shift_span_);
-    const int m_start = margin_;
-    engine_.run_sweep(forward, [&](int /*thread*/, int level, const Box& w) {
-      process_window(level, w, forward, m_start);
-    });
-    margin_ = forward ? m_start - levels_per_sweep
-                      : m_start + levels_per_sweep;
-    levels_done_ += levels_per_sweep;
-  }
-  stats.seconds = timer.elapsed();
-  stats.levels = sweeps * levels_per_sweep;
-  stats.cell_updates = 1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) *
-                       stats.levels;
-  return stats;
-}
+// Header-only template; instantiate the shipped operators here so the
+// hot window loop compiles (and vectorizes) as part of the library build.
+template class CompressedSolver<JacobiOp>;
+template class CompressedSolver<VarCoefOp>;
 
 }  // namespace tb::core

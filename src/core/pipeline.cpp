@@ -1,39 +1,11 @@
 #include "core/pipeline.hpp"
 
-#include "util/timer.hpp"
-
 namespace tb::core {
 
-RunStats PipelinedJacobi::run(Grid3& a, Grid3& b, int sweeps,
-                              int base_level) {
-  Grid3* grids[2] = {&a, &b};  // grids[L % 2] holds time level L
-  const int levels_per_sweep = engine_.config().levels_per_sweep();
-
-  RunStats stats;
-  util::Timer timer;
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    const int sweep_base = base_level + sweep * levels_per_sweep;
-    engine_.run_sweep(
-        /*forward=*/true, [&](int /*thread*/, int level, const Box& w) {
-          const int global = sweep_base + level;
-          const Grid3& src = *grids[(global + 1) % 2];
-          Grid3& dst = *grids[global % 2];
-          apply_jacobi_box(src, dst, w);
-        });
-  }
-  stats.seconds = timer.elapsed();
-  stats.levels = sweeps * levels_per_sweep;
-
-  // Cell updates: every level updates its full clip region once.
-  for (int s = 1; s <= levels_per_sweep; ++s) {
-    const LevelClip& c = engine_.plan().clip(s);
-    const long long cells = 1LL *
-                            std::max(0, c.hi[0] - c.lo[0]) *
-                            std::max(0, c.hi[1] - c.lo[1]) *
-                            std::max(0, c.hi[2] - c.lo[2]);
-    stats.cell_updates += cells * sweeps;
-  }
-  return stats;
-}
+// The scheme is header-only (templates over the StencilOp); instantiate
+// the shipped operators here so mistakes surface in the library build,
+// not first in a client's.
+template class PipelinedSolver<JacobiOp>;
+template class PipelinedSolver<VarCoefOp>;
 
 }  // namespace tb::core

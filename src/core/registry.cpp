@@ -1,0 +1,100 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/args.hpp"
+
+namespace tb::core {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    os << (i ? "|" : "") << names[i];
+  return os.str();
+}
+
+[[noreturn]] void throw_unknown(const char* axis, std::string_view name,
+                                const std::vector<std::string>& valid) {
+  std::ostringstream os;
+  os << "unknown " << axis << " '" << name << "' (valid: " << join(valid)
+     << ")";
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_variants() {
+  static const std::vector<std::string> kNames{
+      "reference", "baseline", "pipelined", "compressed", "wavefront"};
+  return kNames;
+}
+
+const std::vector<std::string>& registered_operators() {
+  static const std::vector<std::string> kNames{"jacobi", "varcoef"};
+  return kNames;
+}
+
+bool apply_variant(SolverConfig& cfg, std::string_view name) {
+  if (name == "reference") {
+    cfg.variant = Variant::kReference;
+  } else if (name == "baseline") {
+    cfg.variant = Variant::kBaseline;
+  } else if (name == "pipelined") {
+    cfg.variant = Variant::kPipelined;
+    cfg.pipeline.scheme = GridScheme::kTwoGrid;
+  } else if (name == "compressed") {
+    cfg.variant = Variant::kPipelined;
+    cfg.pipeline.scheme = GridScheme::kCompressed;
+  } else if (name == "wavefront") {
+    cfg.variant = Variant::kWavefront;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_operator(SolverConfig& cfg, std::string_view name) {
+  if (name == "jacobi") {
+    cfg.op = Operator::kJacobi;
+  } else if (name == "varcoef") {
+    cfg.op = Operator::kVarCoef;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string variant_name(const SolverConfig& cfg) {
+  if (cfg.variant == Variant::kPipelined &&
+      cfg.pipeline.scheme == GridScheme::kCompressed)
+    return "compressed";
+  return to_string(cfg.variant);
+}
+
+void configure_from_args(SolverConfig& cfg, const util::Args& args) {
+  const std::string variant = args.get_choice("variant", variant_name(cfg),
+                                              registered_variants());
+  const std::string op =
+      args.get_choice("operator", to_string(cfg.op), registered_operators());
+  apply_variant(cfg, variant);  // validated by get_choice
+  apply_operator(cfg, op);
+}
+
+StencilSolver make_solver(std::string_view variant, std::string_view op,
+                          SolverConfig cfg, const Grid3& initial,
+                          const Grid3* kappa) {
+  if (!apply_variant(cfg, variant))
+    throw_unknown("variant", variant, registered_variants());
+  if (!apply_operator(cfg, op))
+    throw_unknown("operator", op, registered_operators());
+  if (cfg.op == Operator::kJacobi) return StencilSolver(cfg, initial);
+  if (kappa == nullptr)
+    throw std::invalid_argument(
+        "make_solver: operator 'varcoef' needs a kappa field");
+  return StencilSolver(cfg, initial, *kappa);
+}
+
+}  // namespace tb::core

@@ -1,0 +1,63 @@
+// Unified variant/operator registry: every (variant x operator)
+// combination of the solver stack is constructible from string names.
+//
+// Variant names add one pseudo-variant on top of the Variant enum:
+// "compressed" selects the pipelined schedule with the compressed-grid
+// storage scheme (the facade treats storage as a pipeline tunable, but
+// sweeps, benches and CLIs want it as a first-class row of the matrix).
+//
+//   reference | baseline | pipelined | compressed | wavefront
+//     x
+//   jacobi | varcoef
+//
+// The registry is the single source of truth for the names: the
+// examples' --variant/--operator flags, the autotuner's validation
+// matrix, the bench sweep and the equivalence test suite all enumerate
+// it instead of hardcoding subsets.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace tb::util {
+class Args;
+}
+
+namespace tb::core {
+
+/// All constructible variant names, in canonical (sweep) order.
+[[nodiscard]] const std::vector<std::string>& registered_variants();
+
+/// All constructible operator names, in canonical (sweep) order.
+[[nodiscard]] const std::vector<std::string>& registered_operators();
+
+/// Sets cfg.variant (and, for "compressed"/"pipelined", the pipeline
+/// storage scheme) from a registry name.  Returns false on unknown names.
+bool apply_variant(SolverConfig& cfg, std::string_view name);
+
+/// Sets cfg.op from a registry name.  Returns false on unknown names.
+bool apply_operator(SolverConfig& cfg, std::string_view name);
+
+/// Registry name of the configured variant ("compressed" when the
+/// pipelined variant uses the compressed-grid scheme).
+[[nodiscard]] std::string variant_name(const SolverConfig& cfg);
+
+/// Applies the standard --variant / --operator command-line flags to a
+/// config.  Throws std::invalid_argument naming the valid choices when a
+/// flag value is not in the registry.
+void configure_from_args(SolverConfig& cfg, const util::Args& args);
+
+/// Constructs a solver from registry names.  `kappa` supplies the
+/// material field for operators that need one (required for "varcoef",
+/// ignored by "jacobi").  Throws std::invalid_argument on unknown names
+/// or a missing kappa.
+[[nodiscard]] StencilSolver make_solver(std::string_view variant,
+                                        std::string_view op,
+                                        SolverConfig cfg,
+                                        const Grid3& initial,
+                                        const Grid3* kappa = nullptr);
+
+}  // namespace tb::core

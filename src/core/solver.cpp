@@ -1,6 +1,10 @@
 #include "core/solver.hpp"
 
-#include "core/reference.hpp"
+#include <stdexcept>
+#include <utility>
+
+#include "core/stencil_op.hpp"
+#include "topo/placement.hpp"
 #include "util/timer.hpp"
 
 namespace tb::core {
@@ -13,126 +17,220 @@ void copy_grid(const Grid3& src, Grid3& dst) {
       for (int i = 0; i < src.nx(); ++i) dst.at(i, j, k) = src.at(i, j, k);
 }
 
+/// Per-operator construction state.  The generic case is stateless; the
+/// variable-coefficient operator owns its face-coefficient fields here so
+/// the row kernels can hold a stable pointer to them.
+template <class Op>
+struct OpState {
+  [[nodiscard]] Op make() const { return Op{}; }
+};
+
+template <>
+struct OpState<VarCoefOp> {
+  DiffusionCoefficients coeffs;
+  [[nodiscard]] VarCoefOp make() const { return VarCoefOp{&coeffs}; }
+};
+
 }  // namespace
 
-JacobiSolver::JacobiSolver(const SolverConfig& cfg, const Grid3& initial)
-    : cfg_(cfg),
-      nx_(initial.nx()),
-      ny_(initial.ny()),
-      nz_(initial.nz()),
-      a_(nx_, ny_, nz_),
-      b_(nx_, ny_, nz_),
-      out_(nx_, ny_, nz_) {
-  // Establish page placement before the first write of actual data.  The
-  // pipelined scheme defeats first-touch locality (every thread updates
-  // every block), so it uses round-robin interleaving; the baseline keeps
-  // classic first-touch (Sec. 1.3).
-  const topo::PagePlacement placement =
-      cfg.variant == Variant::kPipelined ? topo::PagePlacement::kRoundRobin
-                                         : cfg.baseline.placement;
-  const int touch_threads = cfg.variant == Variant::kPipelined
-                                ? cfg.pipeline.total_threads()
-                                : cfg.baseline.threads;
-  topo::touch_pages(a_.data(), a_.size(), placement, touch_threads);
-  topo::touch_pages(b_.data(), b_.size(), placement, touch_threads);
+struct StencilSolver::Impl {
+  virtual ~Impl() = default;
+  virtual RunStats advance(int steps) = 0;
+  [[nodiscard]] virtual const Grid3& solution() const = 0;
+};
 
-  copy_grid(initial, a_);
-  copy_grid(initial, b_);  // boundary values must exist in both parities
+/// The whole advance state machine, instantiated per operator.  Only the
+/// facade-level dispatch is virtual; the hot loops live in the templated
+/// scheme classes and stay inlined.
+template <class Op>
+struct StencilSolver::OpImpl final : StencilSolver::Impl {
+  OpImpl(const SolverConfig& cfg, const Grid3& initial, OpState<Op> state)
+      : cfg_(cfg),
+        state_(std::move(state)),
+        nx_(initial.nx()),
+        ny_(initial.ny()),
+        nz_(initial.nz()),
+        a_(nx_, ny_, nz_),
+        b_(nx_, ny_, nz_) {
+    // Establish page placement before the first write of actual data.
+    // The temporally blocked variants defeat first-touch locality (every
+    // thread sweeps through every block or plane), so they use
+    // round-robin interleaving; the baseline keeps classic first-touch
+    // (Sec. 1.3).
+    const bool spread = cfg.variant == Variant::kPipelined ||
+                        cfg.variant == Variant::kWavefront;
+    const topo::PagePlacement placement =
+        spread ? topo::PagePlacement::kRoundRobin : cfg.baseline.placement;
+    const int touch_threads =
+        cfg.variant == Variant::kPipelined ? cfg.pipeline.total_threads()
+        : cfg.variant == Variant::kWavefront ? cfg.wavefront.threads
+                                             : cfg.baseline.threads;
+    topo::touch_pages(a_.data(), a_.size(), placement, touch_threads);
+    topo::touch_pages(b_.data(), b_.size(), placement, touch_threads);
 
-  switch (cfg.variant) {
-    case Variant::kReference:
-      break;
-    case Variant::kBaseline:
-      baseline_ = std::make_unique<BaselineJacobi>(cfg.baseline, nx_, ny_,
-                                                   nz_);
-      break;
-    case Variant::kPipelined: {
-      cfg_.pipeline.validate();
-      if (cfg.pipeline.scheme == GridScheme::kTwoGrid) {
-        pipelined_ =
-            std::make_unique<PipelinedJacobi>(cfg.pipeline, nx_, ny_, nz_);
-      } else {
-        compressed_ =
-            std::make_unique<CompressedJacobi>(cfg.pipeline, nx_, ny_, nz_);
-      }
-      // Remainder steps (not a multiple of n*t*T) run as baseline sweeps.
-      BaselineConfig rem = cfg.baseline;
-      rem.threads = cfg.pipeline.total_threads();
-      baseline_ = std::make_unique<BaselineJacobi>(rem, nx_, ny_, nz_);
-      break;
-    }
-  }
-}
+    copy_grid(initial, a_);
+    copy_grid(initial, b_);  // boundary values must exist in both parities
 
-RunStats JacobiSolver::advance_baseline_steps(int steps) {
-  RunStats st = baseline_->run(a_, b_, steps, 0);
-  if (steps % 2 != 0) std::swap(a_, b_);
-  return st;
-}
-
-RunStats JacobiSolver::advance_two_grid_pipeline(int sweeps) {
-  RunStats st = pipelined_->run(a_, b_, sweeps, 0);
-  if ((sweeps * cfg_.pipeline.levels_per_sweep()) % 2 != 0)
-    std::swap(a_, b_);
-  return st;
-}
-
-RunStats JacobiSolver::advance(int steps) {
-  if (steps < 0) throw std::invalid_argument("advance: negative steps");
-  RunStats total;
-  if (steps == 0) return total;
-
-  switch (cfg_.variant) {
-    case Variant::kReference: {
-      util::Timer timer;
-      for (int s = 0; s < steps; ++s) {
-        reference_sweep(a_, b_);
-        std::swap(a_, b_);
-      }
-      total.seconds = timer.elapsed();
-      total.levels = steps;
-      total.cell_updates =
-          1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
-      break;
-    }
-    case Variant::kBaseline:
-      total = advance_baseline_steps(steps);
-      break;
-    case Variant::kPipelined: {
-      const int depth = cfg_.pipeline.levels_per_sweep();
-      const int sweeps = steps / depth;
-      const int remainder = steps % depth;
-      if (sweeps > 0) {
-        if (compressed_) {
-          compressed_->load(a_);
-          RunStats st = compressed_->run(sweeps);
-          compressed_->store(a_);
-          total.seconds += st.seconds;
-          total.cell_updates += st.cell_updates;
-          total.levels += st.levels;
+    const Op op = state_.make();
+    switch (cfg.variant) {
+      case Variant::kReference:
+        break;
+      case Variant::kBaseline:
+        baseline_ = std::make_unique<BaselineSolver<Op>>(cfg.baseline, nx_,
+                                                         ny_, nz_, op);
+        break;
+      case Variant::kPipelined: {
+        cfg_.pipeline.validate();
+        if (cfg.pipeline.scheme == GridScheme::kTwoGrid) {
+          pipelined_ = std::make_unique<PipelinedSolver<Op>>(cfg.pipeline,
+                                                             nx_, ny_, nz_,
+                                                             op);
         } else {
-          RunStats st = advance_two_grid_pipeline(sweeps);
-          total.seconds += st.seconds;
-          total.cell_updates += st.cell_updates;
-          total.levels += st.levels;
+          compressed_ = std::make_unique<CompressedSolver<Op>>(cfg.pipeline,
+                                                               nx_, ny_,
+                                                               nz_, op);
         }
+        // Remainder steps (not a multiple of n*t*T) run as baseline
+        // sweeps.
+        BaselineConfig rem = cfg.baseline;
+        rem.threads = cfg.pipeline.total_threads();
+        baseline_ = std::make_unique<BaselineSolver<Op>>(rem, nx_, ny_, nz_,
+                                                         op);
+        break;
       }
-      if (remainder > 0) {
-        RunStats st = advance_baseline_steps(remainder);
-        total.seconds += st.seconds;
-        total.cell_updates += st.cell_updates;
-        total.levels += st.levels;
+      case Variant::kWavefront: {
+        cfg_.wavefront.validate();
+        wavefront_ = std::make_unique<WavefrontSolver<Op>>(cfg.wavefront,
+                                                           nx_, ny_, nz_,
+                                                           op);
+        // Remainder steps (not a multiple of the wavefront depth t).
+        BaselineConfig rem = cfg.baseline;
+        rem.threads = cfg.wavefront.threads;
+        baseline_ = std::make_unique<BaselineSolver<Op>>(rem, nx_, ny_, nz_,
+                                                         op);
+        break;
       }
-      break;
     }
   }
-  levels_done_ += steps;
-  return total;
+
+  RunStats advance(int steps) override {
+    RunStats total;
+    if (steps == 0) return total;
+
+    switch (cfg_.variant) {
+      case Variant::kReference: {
+        const Op op = state_.make();
+        util::Timer timer;
+        for (int s = 0; s < steps; ++s) {
+          reference_sweep_op(op, a_, b_);
+          std::swap(a_, b_);
+        }
+        total.seconds = timer.elapsed();
+        total.levels = steps;
+        total.cell_updates =
+            1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
+        break;
+      }
+      case Variant::kBaseline:
+        total = advance_baseline_steps(steps);
+        break;
+      case Variant::kPipelined:
+      case Variant::kWavefront: {
+        const int depth = cfg_.variant == Variant::kPipelined
+                              ? cfg_.pipeline.levels_per_sweep()
+                              : cfg_.wavefront.threads;
+        const int sweeps = steps / depth;
+        const int remainder = steps % depth;
+        if (sweeps > 0) accumulate(total, advance_blocked_sweeps(sweeps));
+        if (remainder > 0)
+          accumulate(total, advance_baseline_steps(remainder));
+        break;
+      }
+    }
+    return total;
+  }
+
+  /// The current level lives in a_ by invariant: every path below swaps
+  /// the grids back when it ends on an odd parity.
+  [[nodiscard]] const Grid3& solution() const override { return a_; }
+
+ private:
+  static void accumulate(RunStats& total, const RunStats& st) {
+    total.seconds += st.seconds;
+    total.cell_updates += st.cell_updates;
+    total.levels += st.levels;
+  }
+
+  RunStats advance_baseline_steps(int steps) {
+    RunStats st = baseline_->run(a_, b_, steps, 0);
+    if (steps % 2 != 0) std::swap(a_, b_);
+    return st;
+  }
+
+  /// Whole team sweeps of the configured temporally blocked scheme.
+  RunStats advance_blocked_sweeps(int sweeps) {
+    if (compressed_) {
+      compressed_->load(a_);
+      RunStats st = compressed_->run(sweeps);
+      compressed_->store(a_);
+      return st;
+    }
+    const int depth = pipelined_ ? cfg_.pipeline.levels_per_sweep()
+                                 : cfg_.wavefront.threads;
+    RunStats st = pipelined_ ? pipelined_->run(a_, b_, sweeps, 0)
+                             : wavefront_->run(a_, b_, sweeps, 0);
+    if ((sweeps * depth) % 2 != 0) std::swap(a_, b_);
+    return st;
+  }
+
+  SolverConfig cfg_;
+  OpState<Op> state_;
+  int nx_, ny_, nz_;
+  Grid3 a_, b_;
+
+  std::unique_ptr<BaselineSolver<Op>> baseline_;
+  std::unique_ptr<PipelinedSolver<Op>> pipelined_;
+  std::unique_ptr<CompressedSolver<Op>> compressed_;
+  std::unique_ptr<WavefrontSolver<Op>> wavefront_;
+};
+
+StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial)
+    : cfg_(cfg) {
+  if (cfg.op == Operator::kVarCoef)
+    throw std::invalid_argument(
+        "StencilSolver: the varcoef operator needs a kappa field — use the "
+        "(config, initial, kappa) constructor");
+  impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
+                                             OpState<JacobiOp>{});
 }
 
-const Grid3& JacobiSolver::solution() {
-  copy_grid(a_, out_);
-  return out_;
+StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
+                             const Grid3& kappa)
+    : cfg_(cfg) {
+  if (cfg.op == Operator::kJacobi) {
+    impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
+                                               OpState<JacobiOp>{});
+    return;
+  }
+  if (kappa.nx() != initial.nx() || kappa.ny() != initial.ny() ||
+      kappa.nz() != initial.nz())
+    throw std::invalid_argument(
+        "StencilSolver: kappa shape must match the initial grid");
+  impl_ = std::make_unique<OpImpl<VarCoefOp>>(
+      cfg, initial, OpState<VarCoefOp>{DiffusionCoefficients(kappa)});
 }
+
+StencilSolver::~StencilSolver() = default;
+StencilSolver::StencilSolver(StencilSolver&&) noexcept = default;
+StencilSolver& StencilSolver::operator=(StencilSolver&&) noexcept = default;
+
+RunStats StencilSolver::advance(int steps) {
+  if (steps < 0) throw std::invalid_argument("advance: negative steps");
+  const RunStats st = impl_->advance(steps);
+  levels_done_ += steps;
+  return st;
+}
+
+const Grid3& StencilSolver::solution() const { return impl_->solution(); }
 
 }  // namespace tb::core

@@ -1,25 +1,42 @@
-// High-level facade: solve a 3-D Jacobi problem with any variant.
+// High-level facade: solve a 3-D stencil problem with any variant and
+// any operator.
 //
-// JacobiSolver hides the grid bookkeeping (parities, compressed margins,
+// StencilSolver hides the grid bookkeeping (parities, compressed margins,
 // remainder steps that are not a multiple of the team-sweep depth) behind
 // a single run-to-N-steps call, which is what the examples and the
-// distributed solver build on.
+// distributed solver build on.  Two orthogonal axes select the algorithm:
+//
+//   Variant  — how the sweeps are scheduled (reference, baseline,
+//              pipelined [two-grid or compressed], wavefront)
+//   Operator — what one cell update computes (constant-coefficient
+//              Jacobi, variable-coefficient diffusion)
+//
+// Every (variant x operator) combination is constructible — also by
+// string name through core/registry.hpp — and is bit-identical to the
+// naive reference of the same operator.
 #pragma once
 
 #include <memory>
-#include <optional>
 
 #include "core/baseline.hpp"
 #include "core/compressed.hpp"
 #include "core/pipeline.hpp"
+#include "core/wavefront.hpp"
 
 namespace tb::core {
 
-/// Which algorithm variant to run.
+/// Which scheduling variant to run.
 enum class Variant {
   kReference,  ///< naive single-threaded sweeps (oracle)
-  kBaseline,   ///< standard spatially blocked multi-threaded Jacobi
+  kBaseline,   ///< standard spatially blocked multi-threaded sweeps
   kPipelined,  ///< pipelined temporal blocking (two-grid or compressed)
+  kWavefront,  ///< plane-wavefront temporal blocking (Ref. [2])
+};
+
+/// Which stencil operator each cell update applies.
+enum class Operator {
+  kJacobi,   ///< constant-coefficient 7-point Jacobi (Eq. (1))
+  kVarCoef,  ///< variable-coefficient (heterogeneous) diffusion
 };
 
 [[nodiscard]] constexpr const char* to_string(Variant v) {
@@ -27,50 +44,75 @@ enum class Variant {
     case Variant::kReference: return "reference";
     case Variant::kBaseline: return "baseline";
     case Variant::kPipelined: return "pipelined";
+    case Variant::kWavefront: return "wavefront";
   }
   return "?";
 }
 
-/// Facade configuration: variant selector plus the per-variant tunables.
+[[nodiscard]] constexpr const char* to_string(Operator op) {
+  switch (op) {
+    case Operator::kJacobi: return "jacobi";
+    case Operator::kVarCoef: return "varcoef";
+  }
+  return "?";
+}
+
+/// Facade configuration: variant and operator selectors plus the
+/// per-variant tunables.
 struct SolverConfig {
   Variant variant = Variant::kPipelined;
+  Operator op = Operator::kJacobi;
   PipelineConfig pipeline{};
   BaselineConfig baseline{};
+  WavefrontConfig wavefront{};
 };
 
 /// Owns the working grids and advances them by arbitrary step counts.
-class JacobiSolver {
+class StencilSolver {
  public:
   /// `initial` supplies level-0 data including Dirichlet boundary faces.
-  JacobiSolver(const SolverConfig& cfg, const Grid3& initial);
+  /// Requires cfg.op == Operator::kJacobi (the variable-coefficient
+  /// operator needs a material field).
+  StencilSolver(const SolverConfig& cfg, const Grid3& initial);
+
+  /// Variable-coefficient construction: `kappa` is the cell-centered
+  /// material field (same shape as `initial`).  Valid for any operator;
+  /// kappa is ignored by Operator::kJacobi.
+  StencilSolver(const SolverConfig& cfg, const Grid3& initial,
+                const Grid3& kappa);
+
+  ~StencilSolver();
+  StencilSolver(StencilSolver&&) noexcept;
+  StencilSolver& operator=(StencilSolver&&) noexcept;
 
   /// Advances the solution by `steps` time levels and returns timing.
-  /// For the pipelined variant, whole team sweeps are used for
-  /// floor(steps / (n*t*T)) * (n*t*T) levels and the remainder falls back
-  /// to baseline sweeps (a real code must produce exactly the requested
+  /// For the temporally blocked variants, whole team sweeps are used for
+  /// floor(steps / depth) * depth levels and the remainder falls back to
+  /// baseline sweeps (a real code must produce exactly the requested
   /// number of levels, not a convenient multiple).
   RunStats advance(int steps);
 
-  /// Read-only view of the current solution (copies out of the working
-  /// storage where necessary).
-  [[nodiscard]] const Grid3& solution();
+  /// Read-only view of the current solution.  No copy: the facade
+  /// maintains the invariant that the current level always lives in its
+  /// primary grid (parity swaps after odd step counts, compressed margins
+  /// stored back), so the reference stays valid until the next advance().
+  [[nodiscard]] const Grid3& solution() const;
 
   [[nodiscard]] int levels_done() const { return levels_done_; }
   [[nodiscard]] const SolverConfig& config() const { return cfg_; }
 
  private:
-  RunStats advance_two_grid_pipeline(int steps);
-  RunStats advance_baseline_steps(int steps);
+  struct Impl;
+  template <class Op>
+  struct OpImpl;
 
   SolverConfig cfg_;
-  int nx_, ny_, nz_;
-  Grid3 a_, b_;
-  Grid3 out_;  // copy-out buffer for solution()
   int levels_done_ = 0;
-
-  std::unique_ptr<BaselineJacobi> baseline_;
-  std::unique_ptr<PipelinedJacobi> pipelined_;
-  std::unique_ptr<CompressedJacobi> compressed_;
+  std::unique_ptr<Impl> impl_;
 };
+
+/// Historical name of the facade, kept for the examples and tests that
+/// predate the operator axis.
+using JacobiSolver = StencilSolver;
 
 }  // namespace tb::core

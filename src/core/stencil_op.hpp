@@ -1,0 +1,223 @@
+// The stencil-operator abstraction underneath every solver scheme.
+//
+// The paper's pipelined temporal blocking is not Jacobi-specific: any
+// update whose reads stay within the 3^3 neighborhood of the previous
+// time level fits the skewed block schedule.  A *StencilOp* captures
+// exactly that contract, so the four scheme implementations (baseline,
+// pipelined two-grid, compressed-grid, wavefront) are templates over the
+// operator and a new operator lands as one self-contained struct.
+//
+// StencilOp concept (compile-time, duck-typed):
+//
+//   static constexpr int kHalo = 1;        // neighborhood radius in cells
+//   static constexpr bool kHasNontemporal; // has a streaming-store row path
+//
+//   // One x-row of updates at logical coordinates (j, k): produce
+//   // dst[i] for i in [i0, i1) from the five source rows of the previous
+//   // level (center, j-1, j+1, k-1, k+1).  `j`/`k` are LOGICAL grid
+//   // coordinates — operators with auxiliary per-cell fields (see
+//   // VarCoefOp) index those fields with them; the row pointers may be
+//   // margin-shifted views of a compressed-grid allocation.
+//   void row(double* dst, const double* c, const double* jm,
+//            const double* jp, const double* km, const double* kp,
+//            int j, int k, int i0, int i1) const;
+//
+//   // Same update with descending i — required by the compressed-grid
+//   // scheme whose even sweeps shift by (+1,+1,+1) and are only
+//   // race-free when traversed backward.
+//   void row_reverse(...same signature...) const;
+//
+//   // Same update with non-temporal (streaming) stores, bypassing the
+//   // cache to avoid the write-allocate; falls back to row() when the
+//   // operator (or target) has no streaming path.
+//   void row_nt(...same signature...) const;
+//
+// Every row method must evaluate the *identical floating-point
+// expression* per cell in every variant, so that all schemes stay
+// bit-identical to the naive reference for the same operator.
+#pragma once
+
+#include <array>
+
+#include "core/blocks.hpp"
+#include "core/grid.hpp"
+#include "core/kernels.hpp"
+
+namespace tb::core {
+
+/// Constant-coefficient Jacobi (Eq. (1) of the paper): the arithmetic
+/// mean of the six face neighbours.  Stateless; delegates to the hand
+/// tuned row kernels in core/kernels.hpp.
+struct JacobiOp {
+  static constexpr int kHalo = 1;
+  static constexpr bool kHasNontemporal = true;
+
+  void row(double* __restrict__ dst, const double* __restrict__ c,
+           const double* __restrict__ jm, const double* __restrict__ jp,
+           const double* __restrict__ km, const double* __restrict__ kp,
+           int /*j*/, int /*k*/, int i0, int i1) const {
+    jacobi_row(dst, c, jm, jp, km, kp, i0, i1);
+  }
+
+  void row_reverse(double* __restrict__ dst, const double* __restrict__ c,
+                   const double* __restrict__ jm,
+                   const double* __restrict__ jp,
+                   const double* __restrict__ km,
+                   const double* __restrict__ kp, int /*j*/, int /*k*/,
+                   int i0, int i1) const {
+    jacobi_row_reverse(dst, c, jm, jp, km, kp, i0, i1);
+  }
+
+  void row_nt(double* __restrict__ dst, const double* __restrict__ c,
+              const double* __restrict__ jm, const double* __restrict__ jp,
+              const double* __restrict__ km, const double* __restrict__ kp,
+              int /*j*/, int /*k*/, int i0, int i1) const {
+    jacobi_row_nt(dst, c, jm, jp, km, kp, i0, i1);
+  }
+};
+
+/// Precomputed face-coefficient fields for the heterogeneous-diffusion
+/// stencil: the standard finite-volume discretization of
+/// div(kappa grad u) = 0 with harmonic-mean face coefficients.
+class DiffusionCoefficients {
+ public:
+  /// Builds face coefficients from a cell-centered kappa field (same
+  /// shape as the solution grid; kappa must be positive on the interior
+  /// and its boundary-adjacent layer).
+  explicit DiffusionCoefficients(const Grid3& kappa)
+      : nx_(kappa.nx()), ny_(kappa.ny()), nz_(kappa.nz()) {
+    for (auto& f : faces_) f = Grid3(nx_, ny_, nz_);
+    for (int k = 1; k < nz_ - 1; ++k)
+      for (int j = 1; j < ny_ - 1; ++j)
+        for (int i = 1; i < nx_ - 1; ++i) {
+          const double kc = kappa.at(i, j, k);
+          const std::array<double, 6> knb = {
+              kappa.at(i - 1, j, k), kappa.at(i + 1, j, k),
+              kappa.at(i, j - 1, k), kappa.at(i, j + 1, k),
+              kappa.at(i, j, k - 1), kappa.at(i, j, k + 1)};
+          for (int f = 0; f < 6; ++f) {
+            const double h = harmonic(kc, knb[static_cast<std::size_t>(f)]);
+            faces_[static_cast<std::size_t>(f)].at(i, j, k) = h;
+          }
+        }
+  }
+
+  [[nodiscard]] const Grid3& face(int f) const {
+    return faces_[static_cast<std::size_t>(f)];
+  }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+
+ private:
+  static double harmonic(double a, double b) {
+    return (a > 0 && b > 0) ? 2.0 * a * b / (a + b) : 0.0;
+  }
+
+  int nx_, ny_, nz_;
+  std::array<Grid3, 6> faces_;  ///< order: -x +x -y +y -z +z
+};
+
+/// Variable-coefficient (heterogeneous) diffusion fixed-point iteration:
+///
+///   u'(x) = sum_d [ cW_d(x) u(x-e_d) + cE_d(x) u(x+e_d) ] / C(x),
+///
+/// where the six face coefficients c are precomputed from a material
+/// field kappa and C is their sum.  The coefficient fields are indexed
+/// with the LOGICAL (i, j, k) — they never shift, which is what lets the
+/// compressed-grid scheme (whose solution window drifts through its
+/// allocation) run this operator unchanged.
+struct VarCoefOp {
+  static constexpr int kHalo = 1;
+  static constexpr bool kHasNontemporal = false;
+
+  const DiffusionCoefficients* coeffs = nullptr;
+
+  void row(double* __restrict__ dst, const double* __restrict__ c,
+           const double* __restrict__ jm, const double* __restrict__ jp,
+           const double* __restrict__ km, const double* __restrict__ kp,
+           int j, int k, int i0, int i1) const {
+    const double* cxm = coeffs->face(0).row(j, k);
+    const double* cxp = coeffs->face(1).row(j, k);
+    const double* cym = coeffs->face(2).row(j, k);
+    const double* cyp = coeffs->face(3).row(j, k);
+    const double* czm = coeffs->face(4).row(j, k);
+    const double* czp = coeffs->face(5).row(j, k);
+    for (int i = i0; i < i1; ++i) {
+      const double denom =
+          cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
+      dst[i] = denom > 0
+                   ? (cxm[i] * c[i - 1] + cxp[i] * c[i + 1] + cym[i] * jm[i] +
+                      cyp[i] * jp[i] + czm[i] * km[i] + czp[i] * kp[i]) /
+                         denom
+                   : c[i];
+    }
+  }
+
+  void row_reverse(double* __restrict__ dst, const double* __restrict__ c,
+                   const double* __restrict__ jm,
+                   const double* __restrict__ jp,
+                   const double* __restrict__ km,
+                   const double* __restrict__ kp, int j, int k, int i0,
+                   int i1) const {
+    const double* cxm = coeffs->face(0).row(j, k);
+    const double* cxp = coeffs->face(1).row(j, k);
+    const double* cym = coeffs->face(2).row(j, k);
+    const double* cyp = coeffs->face(3).row(j, k);
+    const double* czm = coeffs->face(4).row(j, k);
+    const double* czp = coeffs->face(5).row(j, k);
+    for (int i = i1 - 1; i >= i0; --i) {
+      const double denom =
+          cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
+      dst[i] = denom > 0
+                   ? (cxm[i] * c[i - 1] + cxp[i] * c[i + 1] + cym[i] * jm[i] +
+                      cyp[i] * jp[i] + czm[i] * km[i] + czp[i] * kp[i]) /
+                         denom
+                   : c[i];
+    }
+  }
+
+  void row_nt(double* dst, const double* c, const double* jm,
+              const double* jp, const double* km, const double* kp, int j,
+              int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, j, k, i0, i1);  // no streaming path
+  }
+};
+
+/// Applies one operator level over window `w`: dst <- op(src).
+template <class Op>
+inline void apply_box(const Op& op, const Grid3& src, Grid3& dst,
+                      const Box& w) {
+  for (int k = w.lo[2]; k < w.hi[2]; ++k)
+    for (int j = w.lo[1]; j < w.hi[1]; ++j)
+      op.row(dst.row(j, k), src.row(j, k), src.row(j - 1, k),
+             src.row(j + 1, k), src.row(j, k - 1), src.row(j, k + 1), j, k,
+             w.lo[0], w.hi[0]);
+}
+
+/// One naive sweep over the full interior [1, n-1)^3 — the correctness
+/// oracle, generic over the operator.  Boundary layers are untouched.
+template <class Op>
+inline void reference_sweep_op(const Op& op, const Grid3& src, Grid3& dst) {
+  Box all;
+  all.lo = {1, 1, 1};
+  all.hi = {src.nx() - 1, src.ny() - 1, src.nz() - 1};
+  apply_box(op, src, dst, all);
+}
+
+/// Runs `steps` naive sweeps alternating between `a` and `b`; `a` holds
+/// the initial data and both grids carry the Dirichlet boundary.  Returns
+/// the grid holding the final level.
+template <class Op>
+inline Grid3& reference_solve_op(const Op& op, Grid3& a, Grid3& b,
+                                 int steps) {
+  Grid3* src = &a;
+  Grid3* dst = &b;
+  for (int s = 0; s < steps; ++s) {
+    reference_sweep_op(op, *src, *dst);
+    std::swap(src, dst);
+  }
+  return *src;
+}
+
+}  // namespace tb::core

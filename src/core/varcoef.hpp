@@ -1,159 +1,85 @@
-// Variable-coefficient diffusion stencil on the pipelined engine.
+// Variable-coefficient diffusion on the pipelined engine — compatibility
+// layer over the generic StencilOp machinery.
 //
 // The paper's scheme is not Jacobi-specific: any update whose reads stay
 // within the 3^3 neighborhood of the previous level fits the skewed block
-// schedule.  This header demonstrates that generality with the
-// heterogeneous-diffusion fixed-point iteration
-//
-//   u'(x) = sum_d [ cW_d(x) u(x-e_d) + cE_d(x) u(x+e_d) ] / C(x),
-//
-// where the face coefficients c are harmonic means of a material
-// coefficient field kappa (the standard finite-volume discretization of
-// div(kappa grad u) = 0), and C = sum of the six face coefficients.
-// Coefficients are precomputed per face; the kernel reads seven values of
-// the previous level and six coefficient fields.
+// schedule.  The heterogeneous-diffusion operator itself now lives in
+// core/stencil_op.hpp as VarCoefOp (with its DiffusionCoefficients
+// fields), and every scheme — baseline, pipelined, compressed, wavefront
+// — accepts it as a template argument.  This header keeps the original
+// convenience class for callers that own their coefficient fields.
 #pragma once
 
-#include <array>
+#include <stdexcept>
+#include <utility>
 
 #include "core/engine.hpp"
 #include "core/grid.hpp"
-#include "core/pipeline.hpp"  // RunStats
+#include "core/pipeline.hpp"
+#include "core/stencil_op.hpp"
 #include "util/timer.hpp"
 
 namespace tb::core {
 
-/// Precomputed face-coefficient fields for the heterogeneous stencil.
-class DiffusionCoefficients {
- public:
-  /// Builds face coefficients from a cell-centered kappa field (same
-  /// shape as the solution grid; kappa must be positive on the interior
-  /// and its boundary-adjacent layer).
-  explicit DiffusionCoefficients(const Grid3& kappa)
-      : nx_(kappa.nx()), ny_(kappa.ny()), nz_(kappa.nz()) {
-    for (auto& f : faces_) f = Grid3(nx_, ny_, nz_);
-    for (int k = 1; k < nz_ - 1; ++k)
-      for (int j = 1; j < ny_ - 1; ++j)
-        for (int i = 1; i < nx_ - 1; ++i) {
-          const double kc = kappa.at(i, j, k);
-          const std::array<double, 6> knb = {
-              kappa.at(i - 1, j, k), kappa.at(i + 1, j, k),
-              kappa.at(i, j - 1, k), kappa.at(i, j + 1, k),
-              kappa.at(i, j, k - 1), kappa.at(i, j, k + 1)};
-          for (int f = 0; f < 6; ++f) {
-            const double h = harmonic(kc, knb[static_cast<std::size_t>(f)]);
-            faces_[static_cast<std::size_t>(f)].at(i, j, k) = h;
-          }
-        }
-  }
-
-  [[nodiscard]] const Grid3& face(int f) const {
-    return faces_[static_cast<std::size_t>(f)];
-  }
-  [[nodiscard]] int nx() const { return nx_; }
-  [[nodiscard]] int ny() const { return ny_; }
-  [[nodiscard]] int nz() const { return nz_; }
-
- private:
-  static double harmonic(double a, double b) {
-    return (a > 0 && b > 0) ? 2.0 * a * b / (a + b) : 0.0;
-  }
-
-  int nx_, ny_, nz_;
-  std::array<Grid3, 6> faces_;  ///< order: -x +x -y +y -z +z
-};
-
 /// Applies one heterogeneous-diffusion level over window `w`.
 inline void apply_varcoef_box(const DiffusionCoefficients& c,
                               const Grid3& src, Grid3& dst, const Box& w) {
-  for (int k = w.lo[2]; k < w.hi[2]; ++k)
-    for (int j = w.lo[1]; j < w.hi[1]; ++j) {
-      const double* cxm = c.face(0).row(j, k);
-      const double* cxp = c.face(1).row(j, k);
-      const double* cym = c.face(2).row(j, k);
-      const double* cyp = c.face(3).row(j, k);
-      const double* czm = c.face(4).row(j, k);
-      const double* czp = c.face(5).row(j, k);
-      const double* um = src.row(j - 1, k);
-      const double* up = src.row(j + 1, k);
-      const double* km = src.row(j, k - 1);
-      const double* kp = src.row(j, k + 1);
-      const double* uc = src.row(j, k);
-      double* out = dst.row(j, k);
-      for (int i = w.lo[0]; i < w.hi[0]; ++i) {
-        const double denom =
-            cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
-        out[i] = denom > 0
-                     ? (cxm[i] * uc[i - 1] + cxp[i] * uc[i + 1] +
-                        cym[i] * um[i] + cyp[i] * up[i] + czm[i] * km[i] +
-                        czp[i] * kp[i]) /
-                           denom
-                     : uc[i];
-      }
-    }
+  apply_box(VarCoefOp{&c}, src, dst, w);
 }
 
-/// Pipelined temporally blocked solver for the heterogeneous stencil.
+/// Pipelined temporally blocked solver for the heterogeneous stencil:
+/// owns the coefficient fields and runs PipelinedSolver<VarCoefOp>.
+/// Two-grid scheme only; for the compressed scheme construct
+/// CompressedSolver<VarCoefOp> (or use the StencilSolver facade), which
+/// keeps the coefficients at fixed logical coordinates while the
+/// solution window drifts.
 class PipelinedVarCoef {
  public:
   PipelinedVarCoef(const PipelineConfig& cfg, DiffusionCoefficients coeffs)
       : coeffs_(std::move(coeffs)),
-        engine_(cfg, BlockPlan(cfg.block,
-                               interior_clips(coeffs_.nx(), coeffs_.ny(),
-                                              coeffs_.nz(),
-                                              cfg.levels_per_sweep()))) {
-    if (cfg.scheme != GridScheme::kTwoGrid)
-      throw std::invalid_argument(
-          "PipelinedVarCoef: two-grid scheme only (the coefficient fields "
-          "do not shift)");
-  }
+        solver_(make_solver(cfg, coeffs_)) {}
+
+  // The inner solver holds a pointer to coeffs_: pinning the object is
+  // cheaper than re-seating the pointer on every move.
+  PipelinedVarCoef(const PipelinedVarCoef&) = delete;
+  PipelinedVarCoef& operator=(const PipelinedVarCoef&) = delete;
 
   RunStats run(Grid3& a, Grid3& b, int sweeps, int base_level = 0) {
-    Grid3* grids[2] = {&a, &b};
-    const int depth = engine_.config().levels_per_sweep();
-    RunStats stats;
-    util::Timer timer;
-    for (int sweep = 0; sweep < sweeps; ++sweep) {
-      const int sweep_base = base_level + sweep * depth;
-      engine_.run_sweep(true, [&](int, int level, const Box& w) {
-        const int global = sweep_base + level;
-        apply_varcoef_box(coeffs_, *grids[(global + 1) % 2],
-                          *grids[global % 2], w);
-      });
-    }
-    stats.seconds = timer.elapsed();
-    stats.levels = sweeps * depth;
-    stats.cell_updates = 1LL * (coeffs_.nx() - 2) * (coeffs_.ny() - 2) *
-                         (coeffs_.nz() - 2) * stats.levels;
-    return stats;
+    return solver_.run(a, b, sweeps, base_level);
   }
 
   [[nodiscard]] Grid3& result(Grid3& a, Grid3& b, int sweeps,
                               int base_level = 0) const {
-    return (base_level + sweeps * engine_.config().levels_per_sweep()) %
-                       2 ==
-                   0
-               ? a
-               : b;
+    return solver_.result(a, b, sweeps, base_level);
   }
 
   /// Single-threaded reference for verification.
   void reference_run(Grid3& a, Grid3& b, int steps,
                      int base_level = 0) const {
-    Box all;
-    all.lo = {1, 1, 1};
-    all.hi = {coeffs_.nx() - 1, coeffs_.ny() - 1, coeffs_.nz() - 1};
     Grid3* grids[2] = {&a, &b};
     for (int s = 0; s < steps; ++s) {
       const int global = base_level + s + 1;
-      apply_varcoef_box(coeffs_, *grids[(global + 1) % 2],
-                        *grids[global % 2], all);
+      reference_sweep_op(VarCoefOp{&coeffs_}, *grids[(global + 1) % 2],
+                         *grids[global % 2]);
     }
   }
 
  private:
+  static PipelinedSolver<VarCoefOp> make_solver(
+      const PipelineConfig& cfg, const DiffusionCoefficients& coeffs) {
+    if (cfg.scheme != GridScheme::kTwoGrid)
+      throw std::invalid_argument(
+          "PipelinedVarCoef: two-grid scheme only (use "
+          "CompressedSolver<VarCoefOp> for the compressed scheme)");
+    return PipelinedSolver<VarCoefOp>(
+        cfg,
+        interior_clips(coeffs.nx(), coeffs.ny(), coeffs.nz(),
+                       cfg.levels_per_sweep()),
+        VarCoefOp{&coeffs});
+  }
+
   DiffusionCoefficients coeffs_;
-  PipelineEngine engine_;
+  PipelinedSolver<VarCoefOp> solver_;
 };
 
 }  // namespace tb::core

@@ -1,61 +1,10 @@
 #include "core/wavefront.hpp"
 
-#include <barrier>
-
-#include "core/kernels.hpp"
-#include "util/timer.hpp"
-
 namespace tb::core {
 
-WavefrontJacobi::WavefrontJacobi(const WavefrontConfig& cfg, int nx, int ny,
-                                 int nz)
-    : cfg_(cfg), nx_(nx), ny_(ny), nz_(nz), pool_(cfg.threads) {
-  cfg.validate();
-}
-
-std::size_t WavefrontJacobi::working_set_bytes() const {
-  const std::size_t plane =
-      static_cast<std::size_t>(nx_) * ny_ * sizeof(double);
-  return 2 * plane * static_cast<std::size_t>(2 * cfg_.threads);
-}
-
-RunStats WavefrontJacobi::run(Grid3& a, Grid3& b, int sweeps,
-                              int base_level) {
-  Grid3* grids[2] = {&a, &b};
-  const int t = cfg_.threads;
-  const int planes = nz_ - 2;              // interior planes
-  const long long steps = planes + 2LL * (t - 1);
-
-  RunStats stats;
-  util::Timer timer;
-  for (int sweep = 0; sweep < sweeps; ++sweep) {
-    const int sweep_base = base_level + sweep * t;
-    std::barrier barrier(t);
-    pool_.run([&](int i) {
-      const int level = sweep_base + i + 1;   // this thread's time level
-      const Grid3& src = *grids[(level + 1) % 2];
-      Grid3& dst = *grids[level % 2];
-      for (long long step = 0; step < steps; ++step) {
-        const long long k = 1 + step - 2LL * i;  // plane, 2-plane spacing
-        if (k >= 1 && k < nz_ - 1) {
-          const int kk = static_cast<int>(k);
-          for (int ja = 1; ja < ny_ - 1; ja += cfg_.by) {
-            const int jb = std::min(ja + cfg_.by, ny_ - 1);
-            for (int j = ja; j < jb; ++j)
-              jacobi_row(dst.row(j, kk), src.row(j, kk), src.row(j - 1, kk),
-                         src.row(j + 1, kk), src.row(j, kk - 1),
-                         src.row(j, kk + 1), 1, nx_ - 1);
-          }
-        }
-        barrier.arrive_and_wait();
-      }
-    });
-  }
-  stats.seconds = timer.elapsed();
-  stats.levels = sweeps * t;
-  stats.cell_updates =
-      1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * stats.levels;
-  return stats;
-}
+// Header-only template; instantiate the shipped operators here so the
+// plane loop compiles (and vectorizes) as part of the library build.
+template class WavefrontSolver<JacobiOp>;
+template class WavefrontSolver<VarCoefOp>;
 
 }  // namespace tb::core

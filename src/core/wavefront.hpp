@@ -1,5 +1,5 @@
 // Wavefront temporal blocking — the comparison method (Ref. [2],
-// Wellein et al., COMPSAC 2009).
+// Wellein et al., COMPSAC 2009) — generic over the stencil operator.
 //
 // Where pipelined blocking tiles the domain into cache-sized 3-D blocks,
 // the wavefront method keeps whole xy-planes in flight: thread i updates
@@ -17,9 +17,15 @@
 // bench_wavefront for the comparison.
 #pragma once
 
+#include <algorithm>
+#include <barrier>
+#include <stdexcept>
+
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"  // RunStats
+#include "core/stencil_op.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace tb::core {
 
@@ -35,14 +41,56 @@ struct WavefrontConfig {
   }
 };
 
-/// Two-grid wavefront-parallel Jacobi (one update per thread per plane).
-class WavefrontJacobi {
+/// Two-grid wavefront-parallel solver (one update per thread per plane),
+/// templated on the StencilOp (see core/stencil_op.hpp).
+template <class Op>
+class WavefrontSolver {
  public:
-  WavefrontJacobi(const WavefrontConfig& cfg, int nx, int ny, int nz);
+  WavefrontSolver(const WavefrontConfig& cfg, int nx, int ny, int nz,
+                  Op op = Op{})
+      : cfg_(cfg), op_(op), nx_(nx), ny_(ny), nz_(nz), pool_(cfg.threads) {
+    cfg.validate();
+  }
 
   /// Advances `sweeps * threads` time levels.  `a` holds the starting
   /// level (global index `base_level`; even levels live in `a`).
-  RunStats run(Grid3& a, Grid3& b, int sweeps, int base_level = 0);
+  RunStats run(Grid3& a, Grid3& b, int sweeps, int base_level = 0) {
+    Grid3* grids[2] = {&a, &b};
+    const int t = cfg_.threads;
+    const int planes = nz_ - 2;              // interior planes
+    const long long steps = planes + 2LL * (t - 1);
+
+    RunStats stats;
+    util::Timer timer;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      const int sweep_base = base_level + sweep * t;
+      std::barrier barrier(t);
+      pool_.run([&](int i) {
+        const int level = sweep_base + i + 1;   // this thread's time level
+        const Grid3& src = *grids[(level + 1) % 2];
+        Grid3& dst = *grids[level % 2];
+        for (long long step = 0; step < steps; ++step) {
+          const long long k = 1 + step - 2LL * i;  // plane, 2-plane spacing
+          if (k >= 1 && k < nz_ - 1) {
+            const int kk = static_cast<int>(k);
+            for (int ja = 1; ja < ny_ - 1; ja += cfg_.by) {
+              const int jb = std::min(ja + cfg_.by, ny_ - 1);
+              for (int j = ja; j < jb; ++j)
+                op_.row(dst.row(j, kk), src.row(j, kk), src.row(j - 1, kk),
+                        src.row(j + 1, kk), src.row(j, kk - 1),
+                        src.row(j, kk + 1), j, kk, 1, nx_ - 1);
+            }
+          }
+          barrier.arrive_and_wait();
+        }
+      });
+    }
+    stats.seconds = timer.elapsed();
+    stats.levels = sweeps * t;
+    stats.cell_updates =
+        1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * stats.levels;
+    return stats;
+  }
 
   [[nodiscard]] Grid3& result(Grid3& a, Grid3& b, int sweeps,
                               int base_level = 0) const {
@@ -54,12 +102,20 @@ class WavefrontJacobi {
 
   /// Cache-resident working set of the moving wavefront: both grids hold
   /// 2t-1 active planes plus one plane of lookahead.
-  [[nodiscard]] std::size_t working_set_bytes() const;
+  [[nodiscard]] std::size_t working_set_bytes() const {
+    const std::size_t plane =
+        static_cast<std::size_t>(nx_) * ny_ * sizeof(double);
+    return 2 * plane * static_cast<std::size_t>(2 * cfg_.threads);
+  }
 
  private:
   WavefrontConfig cfg_;
+  Op op_;
   int nx_, ny_, nz_;
   util::ThreadPool pool_;
 };
+
+/// The constant-coefficient instantiation (the comparison method).
+using WavefrontJacobi = WavefrontSolver<JacobiOp>;
 
 }  // namespace tb::core

@@ -1,4 +1,6 @@
-// Distributed pipelined Jacobi on the in-process rank runtime (Sec. 2.1).
+// Distributed pipelined stencil solver on the in-process rank runtime
+// (Sec. 2.1), generic over the StencilOp (constant-coefficient Jacobi or
+// variable-coefficient diffusion).
 //
 // The global grid is block-decomposed over a 3-D Cartesian process grid.
 // Each rank owns a box of interior cells surrounded by a ghost region of
@@ -30,11 +32,13 @@
 #include <optional>
 #include <stdexcept>
 #include <tuple>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"
+#include "core/stencil_op.hpp"
 #include "simnet/comm.hpp"
 
 namespace tb::dist {
@@ -61,11 +65,17 @@ struct DistStats {
 };
 
 /// Executing distributed solver: one instance per rank, constructed inside
-/// World::run.
-class DistributedJacobi {
+/// World::run.  `Op` selects the stencil operator; operators with a
+/// material field (VarCoefOp) take the *global* kappa grid and rebuild
+/// their face coefficients from the rank-local window, which yields the
+/// identical IEEE doubles as a global computation (each face coefficient
+/// is a function of the same two kappa values).
+template <class Op = core::JacobiOp>
+class DistributedStencil {
  public:
-  DistributedJacobi(simnet::Comm& comm, const DistConfig& cfg,
-                    const core::Grid3& global_initial)
+  DistributedStencil(simnet::Comm& comm, const DistConfig& cfg,
+                     const core::Grid3& global_initial,
+                     const core::Grid3* global_kappa = nullptr)
       : comm_(comm),
         cfg_(cfg),
         topo_(comm.size(), cfg.proc_dims),
@@ -78,7 +88,7 @@ class DistributedJacobi {
       const int parts = cfg.proc_dims[d];
       if (interior < parts)
         throw std::invalid_argument(
-            "DistributedJacobi: more ranks than interior cells");
+            "DistributedStencil: more ranks than interior cells");
       // The minimum share of the balanced partition is interior/parts
       // (some ranks get one more).  The admissibility check must depend
       // only on the *global* geometry: if it looked at this rank's own
@@ -86,7 +96,7 @@ class DistributedJacobi {
       // throw and the surviving ranks would deadlock in the exchange.
       if (parts > 1 && interior / parts < halo_)
         throw std::invalid_argument(
-            "DistributedJacobi: subdomain thinner than the halo width");
+            "DistributedStencil: subdomain thinner than the halo width");
       const auto [lo, cnt] = owned_range(d, coords[d]);
       own_lo_[d] = lo;
       own_[d] = cnt;
@@ -112,8 +122,41 @@ class DistributedJacobi {
         }
     b_ = a_.clone();
 
-    solver_.emplace(cfg.pipeline, level_clips());
+    if constexpr (std::is_same_v<Op, core::VarCoefOp>) {
+      if (global_kappa == nullptr)
+        throw std::invalid_argument(
+            "DistributedStencil: the varcoef operator needs the global "
+            "kappa field");
+      if (global_kappa->nx() != global_n_[0] ||
+          global_kappa->ny() != global_n_[1] ||
+          global_kappa->nz() != global_n_[2])
+        throw std::invalid_argument(
+            "DistributedStencil: kappa shape must match the global grid");
+      // Rank-local kappa window (zero outside the domain, like a_): the
+      // face coefficients of every cell this rank may update — including
+      // ghost-layer updates down to depth 1 — depend only on kappa values
+      // inside this window.
+      core::Grid3 local_kappa(local_n_[0], local_n_[1], local_n_[2]);
+      local_kappa.fill(0.0);
+      for (int k = 0; k < local_n_[2]; ++k)
+        for (int j = 0; j < local_n_[1]; ++j)
+          for (int i = 0; i < local_n_[0]; ++i) {
+            const int gi = to_global(i, 0), gj = to_global(j, 1),
+                      gk = to_global(k, 2);
+            if (gi >= 0 && gi < global_n_[0] && gj >= 0 &&
+                gj < global_n_[1] && gk >= 0 && gk < global_n_[2])
+              local_kappa.at(i, j, k) = global_kappa->at(gi, gj, gk);
+          }
+      coeffs_.emplace(local_kappa);
+      solver_.emplace(cfg.pipeline, level_clips(), Op{&*coeffs_});
+    } else {
+      solver_.emplace(cfg.pipeline, level_clips());
+    }
   }
+
+  // solver_ holds a pointer into coeffs_ for the varcoef operator.
+  DistributedStencil(const DistributedStencil&) = delete;
+  DistributedStencil& operator=(const DistributedStencil&) = delete;
 
   /// Advances the global solution by `epochs` * h time levels.  Collective:
   /// every rank of the world must call it with the same arguments.
@@ -147,10 +190,10 @@ class DistributedJacobi {
     const core::Grid3& cur = current();
     if (comm_.rank() == root) {
       if (out == nullptr)
-        throw std::invalid_argument("DistributedJacobi: root needs a grid");
+        throw std::invalid_argument("DistributedStencil: root needs a grid");
       if (out->nx() != global_n_[0] || out->ny() != global_n_[1] ||
           out->nz() != global_n_[2])
-        throw std::invalid_argument("DistributedJacobi: gather shape");
+        throw std::invalid_argument("DistributedStencil: gather shape");
       for (int r = 0; r < comm_.size(); ++r) {
         std::array<int, 3> lo, cnt;
         for (int d = 0; d < 3; ++d)
@@ -417,19 +460,26 @@ class DistributedJacobi {
   std::array<int, 3> neighbor_hi_{-1, -1, -1};
   core::Grid3 a_, b_;
   int base_level_ = 0;
-  std::optional<core::PipelinedJacobi> solver_;
+  std::optional<core::DiffusionCoefficients> coeffs_;  // varcoef only
+  std::optional<core::PipelinedSolver<Op>> solver_;
 };
+
+/// Historical name: the constant-coefficient instantiation.
+using DistributedJacobi = DistributedStencil<core::JacobiOp>;
 
 /// Convenience driver: runs the distributed solver on a fresh World and
 /// gathers the final state into `*out` (which must be pre-sized to the
 /// global shape and already hold the boundary values, e.g. a clone of the
-/// initial grid).
+/// initial grid).  `kappa` supplies the material field for operators that
+/// need one (required for VarCoefOp, ignored by JacobiOp).
+template <class Op = core::JacobiOp>
 inline void run_distributed(int ranks, const DistConfig& cfg,
                             const core::Grid3& initial, int epochs,
-                            core::Grid3* out) {
+                            core::Grid3* out,
+                            const core::Grid3* kappa = nullptr) {
   simnet::World world(ranks);
   world.run([&](simnet::Comm& comm) {
-    DistributedJacobi solver(comm, cfg, initial);
+    DistributedStencil<Op> solver(comm, cfg, initial, kappa);
     solver.advance(epochs);
     // gather() is collective and internally race-free: only the root rank
     // writes *out, every other rank just sends.

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,24 @@ class Args {
     const auto it = kv_.find(key);
     if (it == kv_.end()) return def;
     return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  /// Validated enumeration flag (the shared --variant / --operator
+  /// convention of the examples and benches): returns the value only if
+  /// it is one of `allowed`, and throws std::invalid_argument naming the
+  /// valid choices otherwise.
+  [[nodiscard]] std::string get_choice(
+      const std::string& key, const std::string& def,
+      const std::vector<std::string>& allowed) const {
+    const std::string value = get(key, def);
+    for (const std::string& a : allowed)
+      if (value == a) return value;
+    std::ostringstream os;
+    os << "--" << key << "=" << value << " is not a valid choice (use ";
+    for (std::size_t i = 0; i < allowed.size(); ++i)
+      os << (i ? "|" : "") << allowed[i];
+    os << ")";
+    throw std::invalid_argument(os.str());
   }
 
   /// Parses a comma-separated integer list, e.g. "--T=1,2,4".

@@ -1,0 +1,49 @@
+// Machine-readable bench output: every bench that measures or models a
+// solver emits a BENCH_<name>.json next to its human-readable table, so
+// CI can archive the numbers and the performance trajectory is diffable
+// across PRs.
+//
+// Format: a JSON array of entries, each
+//   {"name": "<variant/operator or case id>",
+//    "bytes_per_lup": <modeled main-memory bytes per lattice-site update>,
+//    "mlups": <measured or modeled MLUP/s>}
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tb::util {
+
+struct BenchEntry {
+  std::string name;
+  double bytes_per_lup = 0.0;
+  double mlups = 0.0;
+};
+
+/// Writes `BENCH_<bench>.json` in the working directory; returns false
+/// (after printing a warning) when the file cannot be written.
+inline bool write_bench_json(const std::string& bench,
+                             const std::vector<BenchEntry>& entries) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"bytes_per_lup\": %.6g, "
+                 "\"mlups\": %.6g}%s\n",
+                 e.name.c_str(), e.bytes_per_lup, e.mlups,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+  return true;
+}
+
+}  // namespace tb::util

@@ -69,6 +69,65 @@ INSTANTIATE_TEST_SUITE_P(
                       DecompCase{{2, 2, 2}, 1, 2, true},
                       DecompCase{{3, 2, 1}, 2, 1, true}));
 
+// ---- operator axis ----------------------------------------------------
+
+/// The distributed solver is generic over the StencilOp: the varcoef
+/// instantiation rebuilds its face coefficients from each rank's local
+/// kappa window and must stay bit-identical to the single-rank oracle.
+class VarCoefDecomposition : public ::testing::TestWithParam<DecompCase> {};
+
+TEST_P(VarCoefDecomposition, BitIdenticalToReference) {
+  const DecompCase c = GetParam();
+  const int n = 26;
+  const core::Grid3 initial = make_initial(n);
+  core::Grid3 kappa(n, n, n);
+  kappa.fill(1.0);
+  for (int k = n / 3; k < 2 * n / 3; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) kappa.at(i, j, k) = 50.0;
+
+  DistConfig cfg;
+  cfg.proc_dims = c.dims;
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = c.t;
+  cfg.pipeline.steps_per_thread = c.T;
+  cfg.pipeline.block = {8, 4, 4};
+  cfg.overlap = c.overlap;
+  const int ranks = c.dims[0] * c.dims[1] * c.dims[2];
+  const int epochs = 3;
+
+  core::Grid3 result = initial.clone();
+  run_distributed<core::VarCoefOp>(ranks, cfg, initial, epochs, &result,
+                                   &kappa);
+
+  const int steps = epochs * cfg.pipeline.levels_per_sweep();
+  const core::DiffusionCoefficients coeffs(kappa);
+  core::Grid3 a = initial.clone(), b = initial.clone();
+  const core::Grid3& expected =
+      core::reference_solve_op(core::VarCoefOp{&coeffs}, a, b, steps);
+  tb::test::expect_grids_bitwise_equal(result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcessGrids, VarCoefDecomposition,
+    ::testing::Values(DecompCase{{1, 1, 1}, 2, 2},
+                      DecompCase{{2, 1, 1}, 1, 2},
+                      DecompCase{{2, 2, 1}, 2, 1},
+                      DecompCase{{2, 2, 2}, 1, 2},
+                      DecompCase{{2, 2, 1}, 1, 1, true},
+                      DecompCase{{3, 2, 1}, 2, 1, true}));
+
+TEST(Distributed, VarCoefWithoutKappaThrows) {
+  const core::Grid3 initial = make_initial(12);
+  simnet::World world(1);
+  DistConfig cfg;
+  EXPECT_THROW(world.run([&](simnet::Comm& comm) {
+                 DistributedStencil<core::VarCoefOp> solver(comm, cfg,
+                                                            initial);
+               }),
+               std::invalid_argument);
+}
+
 TEST(Distributed, GatherReassemblesOwnedCells) {
   const core::Grid3 initial = make_initial(18);
   DistConfig cfg;
