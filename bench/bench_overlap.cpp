@@ -18,6 +18,10 @@
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
   const int n = static_cast<int>(args.get_int("n", 600));
+  // A committed sample of the CSV lives in bench/data/overlap_model.csv;
+  // point --csv there (or anywhere writable) to refresh it, or pass
+  // --csv "" to skip the mirror entirely.
+  const std::string csv_path = args.get("csv", "overlap_model.csv");
 
   // (a) Model: standard Jacobi 8PPN strong scaling.
   tb::sim::SimMachine socket;
@@ -45,7 +49,12 @@ int main(int argc, char** argv) {
           1.0 - plain.comp_ratio());
   }
   t.print();
-  t.write_csv("overlap_model.csv");
+  if (!csv_path.empty()) {
+    if (t.write_csv(csv_path))
+      std::printf("\nwrote %s\n", csv_path.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write %s\n", csv_path.c_str());
+  }
 
   // (b) Executing overlapped solver on the rank runtime, slow network so
   // the effect is visible at the small demo size.

@@ -26,16 +26,6 @@ namespace {
 
 using namespace tb::core;
 
-/// Two-material kappa: a high-conductivity slab inside background.
-Grid3 make_kappa(int nx, int ny, int nz) {
-  Grid3 kappa(nx, ny, nz);
-  kappa.fill(1.0);
-  for (int k = nz / 3; k < 2 * nz / 3; ++k)
-    for (int j = 0; j < ny; ++j)
-      for (int i = 0; i < nx; ++i) kappa.at(i, j, k) = 50.0;
-  return kappa;
-}
-
 int sweep_depth(const SolverConfig& cfg) {
   switch (cfg.variant) {
     case Variant::kPipelined: return cfg.pipeline.levels_per_sweep();
@@ -84,7 +74,7 @@ int main(int argc, char** argv) {
       for (int j = 0; j < n; ++j) g.at(0, j, k) = 1.0;  // hot face
     return g;
   }();
-  const Grid3 kappa = make_kappa(n, n, n);
+  const Grid3 kappa = make_slab_kappa(n, n, n);
 
   std::printf("=== variant x operator matrix, %d^3 grid, %d steps ===\n\n",
               n, steps);

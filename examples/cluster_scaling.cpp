@@ -4,15 +4,19 @@
 // against the single-rank run.
 //
 //   $ ./cluster_scaling [--n 66] [--epochs 3] [--T 2] [--t 2]
+//                       [--operator jacobi|varcoef|box27]
 //
 // This is the code path a real MPI deployment would take: domain
 // decomposition, multi-layer halo exchange along x->y->z, per-rank
-// pipelined temporal blocking with shrinking update regions.
+// pipelined temporal blocking with shrinking update regions.  The
+// operator is selected through the distributed string registry
+// (dist/registry.hpp), so every registry operator runs decomposed.
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 #include "core/reference.hpp"
-#include "dist/distributed_jacobi.hpp"
+#include "dist/registry.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -31,8 +35,12 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(args.get_int("n", 66));
   const int epochs = static_cast<int>(args.get_int("epochs", 3));
 
+  const std::string op = args.get_choice("operator", "jacobi",
+                                         tb::core::registered_operators());
+
   tb::core::Grid3 initial(n, n, n);
   tb::core::fill_test_pattern(initial);
+  const tb::core::Grid3 kappa = tb::core::make_slab_kappa(n, n, n);
 
   tb::dist::DistConfig base_cfg;
   base_cfg.pipeline.teams = 1;
@@ -45,16 +53,17 @@ int main(int argc, char** argv) {
   const int steps = epochs * h;
 
   std::printf(
-      "distributed pipelined Jacobi: %d^3 global, h = %d layers, %d epochs "
+      "distributed pipelined %s: %d^3 global, h = %d layers, %d epochs "
       "(%d steps)\n\n",
-      n, h, epochs, steps);
+      op.c_str(), n, h, epochs, steps);
 
   // Single-rank result is the correctness anchor.
   tb::core::Grid3 anchor = initial.clone();
   {
     tb::dist::DistConfig cfg = base_cfg;
     cfg.proc_dims = {1, 1, 1};
-    tb::dist::run_distributed(1, cfg, initial, epochs, &anchor);
+    tb::dist::run_distributed_named(op, 1, cfg, initial, epochs, &anchor,
+                                    &kappa);
   }
 
   tb::util::TableWriter t({"ranks", "proc grid", "sim time [ms]",
@@ -71,9 +80,10 @@ int main(int argc, char** argv) {
     std::mutex m;
     tb::simnet::World world(ranks);
     world.run([&](tb::simnet::Comm& comm) {
-      tb::dist::DistributedJacobi solver(comm, cfg, initial);
-      const tb::dist::DistStats st = solver.advance(epochs);
-      solver.gather(comm.rank() == 0 ? &result : nullptr);
+      auto solver = tb::dist::make_distributed(op, comm, cfg, initial,
+                                               &kappa);
+      const tb::dist::DistStats st = solver->advance(epochs);
+      solver->gather(comm.rank() == 0 ? &result : nullptr, 0);
       if (comm.rank() == 0) {
         const std::scoped_lock lock(m);
         rank0.sim_seconds = st.sim_seconds;

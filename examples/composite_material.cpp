@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   cfg.baseline.threads = cfg.pipeline.total_threads();
   cfg.wavefront.threads = cfg.pipeline.total_threads();
   const std::string variant = args.get_choice(
-      "variant", "pipelined", tb::core::registered_variants());
+      "variant", "pipelined", tb::core::selectable_variants());
   const int steps =
       std::max(1, steps_requested / cfg.pipeline.levels_per_sweep()) *
       cfg.pipeline.levels_per_sweep();

@@ -29,15 +29,6 @@ tb::core::Grid3 hot_face_problem(int n) {
   return g;
 }
 
-tb::core::Grid3 slab_material(int n) {
-  tb::core::Grid3 kappa(n, n, n);
-  kappa.fill(1.0);
-  for (int k = n / 3; k < 2 * n / 3; ++k)
-    for (int j = 0; j < n; ++j)
-      for (int i = 0; i < n; ++i) kappa.at(i, j, k) = 50.0;
-  return kappa;
-}
-
 struct Outcome {
   int steps = 0;
   double seconds = 0.0;
@@ -83,7 +74,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> variants = tb::core::registered_variants();
   {
-    std::vector<std::string> any = variants;
+    // Concrete names sweep; meta names ("auto") are selectable too.
+    std::vector<std::string> any = tb::core::selectable_variants();
     any.emplace_back("all");
     const std::string v = args.get_choice("variant", "all", any);
     if (v == "reference") {
@@ -96,7 +88,7 @@ int main(int argc, char** argv) {
                                          tb::core::registered_operators());
 
   const tb::core::Grid3 init = hot_face_problem(n);
-  const tb::core::Grid3 kappa = slab_material(n);
+  const tb::core::Grid3 kappa = tb::core::make_slab_kappa(n, n, n);
 
   tb::core::SolverConfig cfg;
   cfg.baseline.threads = threads;

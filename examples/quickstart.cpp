@@ -36,25 +36,23 @@ int main(int argc, char** argv) {
   cfg.wavefront.threads = cfg.pipeline.total_threads();
   tb::core::configure_from_args(cfg, args);  // --variant / --operator
 
-  // The varcoef operator diffuses through a material field; default to a
-  // conductive slab across the domain's middle third.
+  // The varcoef operator diffuses through a material field; default to
+  // the standard conductive slab across the domain's middle third.
   tb::core::Grid3 kappa;
-  if (cfg.op == tb::core::Operator::kVarCoef) {
-    kappa = tb::core::Grid3(n, n, n);
-    kappa.fill(1.0);
-    for (int k = n / 3; k < 2 * n / 3; ++k)
-      for (int j = 0; j < n; ++j)
-        for (int i = 0; i < n; ++i) kappa.at(i, j, k) = 50.0;
-  }
+  if (cfg.op == tb::core::Operator::kVarCoef)
+    kappa = tb::core::make_slab_kappa(n, n, n);
 
   tb::core::StencilSolver solver = tb::core::make_solver(
       tb::core::variant_name(cfg), to_string(cfg.op), cfg, initial, &kappa);
   const tb::core::RunStats stats = solver.advance(steps);
 
+  // Report the *resolved* configuration: with --variant auto the solver
+  // carries the tuned schedule, not the defaults set above.
+  const tb::core::SolverConfig& used = solver.config();
   const tb::core::Grid3& u = solver.solution();
   std::printf("grid %d^3, %d sweeps with %s/%s (%s)\n", n, steps,
-              tb::core::variant_name(cfg).c_str(), to_string(cfg.op),
-              cfg.pipeline.describe().c_str());
+              tb::core::variant_name(used).c_str(), to_string(used.op),
+              used.pipeline.describe().c_str());
   std::printf("wall time      : %.3f s\n", stats.seconds);
   std::printf("performance    : %.1f MLUP/s (host)\n", stats.mlups());
   std::printf("center value   : %.6f\n", u.at(n / 2, n / 2, n / 2));

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json bench records and fail on regressions.
+
+Every bench driver emits a BENCH_<name>.json with entries
+{"name": ..., "bytes_per_lup": ..., "mlups": ...}.  CI archives these per
+run; this script diffs the freshly produced set against the previous
+artifact and exits non-zero when any entry's throughput dropped by more
+than the threshold (default 25%), printing a per-entry table either way.
+
+Usage:
+    check_bench_regression.py --old PREV_DIR --new NEW_DIR [--threshold 0.25]
+
+Entries present on only one side are reported but never fail the check
+(benches come and go across PRs); a missing or empty --old directory is a
+clean pass (the first run has nothing to regress against).  Entries whose
+old throughput is ~0 (modeled placeholders) are skipped.
+
+Absolute MLUP/s only compare on like hardware, so each side may carry a
+`bench-host.txt` fingerprint (CPU model + core count, written by CI next
+to the JSON): when both sides have one and they differ, the comparison
+is skipped with a notice instead of failing on runner heterogeneity —
+the same machine-signature guard the tuning cache applies to its plans.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(directory: Path) -> dict:
+    """Maps "file:entry-name" -> mlups for every BENCH_*.json in a dir."""
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}")
+            continue
+        if not isinstance(entries, list):
+            print(f"warning: {path} is not a JSON array, skipping")
+            continue
+        for entry in entries:
+            name = entry.get("name")
+            mlups = entry.get("mlups")
+            if isinstance(name, str) and isinstance(mlups, (int, float)):
+                records[f"{path.name}:{name}"] = float(mlups)
+    return records
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--old", required=True, type=Path,
+                        help="directory with the previous BENCH_*.json set")
+    parser.add_argument("--new", required=True, type=Path,
+                        help="directory with the fresh BENCH_*.json set")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional drop (default 0.25)")
+    args = parser.parse_args()
+
+    if not args.old.is_dir():
+        print(f"no previous bench records at {args.old}: nothing to "
+              "compare, passing")
+        return 0
+
+    old_host = (args.old / "bench-host.txt")
+    new_host = (args.new / "bench-host.txt")
+    if new_host.is_file():
+        if not old_host.is_file():
+            # Fingerprint-less records predate the guard: their hardware
+            # is unknown, so treat them as incomparable rather than risk
+            # a spurious cross-runner failure.
+            print("previous records carry no host fingerprint, skipping "
+                  "the comparison (next run establishes the baseline)")
+            return 0
+        old_fp = old_host.read_text().strip()
+        new_fp = new_host.read_text().strip()
+        if old_fp != new_fp:
+            print("previous records were measured on different hardware, "
+                  "skipping the comparison:\n"
+                  f"  old: {old_fp}\n  new: {new_fp}")
+            return 0
+
+    old = load_records(args.old)
+    new = load_records(args.new)
+    if not old:
+        print("previous bench record set is empty: nothing to compare, "
+              "passing")
+        return 0
+    if not new:
+        print(f"error: no BENCH_*.json found under {args.new}")
+        return 1
+
+    regressions = []
+    width = max(len(k) for k in sorted(old | new)) if (old or new) else 20
+    print(f"{'entry':<{width}}  {'old':>10}  {'new':>10}  change")
+    for key in sorted(old.keys() | new.keys()):
+        if key not in old:
+            print(f"{key:<{width}}  {'-':>10}  {new[key]:>10.1f}  (new entry)")
+            continue
+        if key not in new:
+            print(f"{key:<{width}}  {old[key]:>10.1f}  {'-':>10}  (removed)")
+            continue
+        if old[key] <= 1e-9:  # modeled zero / placeholder: no baseline
+            continue
+        change = new[key] / old[key] - 1.0
+        flag = ""
+        if change < -args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((key, old[key], new[key], change))
+        print(f"{key:<{width}}  {old[key]:>10.1f}  {new[key]:>10.1f}  "
+              f"{change:+7.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'} "
+              f"regressed by more than {args.threshold:.0%}:")
+        for key, old_v, new_v, change in regressions:
+            print(f"  {key}: {old_v:.1f} -> {new_v:.1f} MLUP/s ({change:+.1%})")
+        return 1
+    print("\nno throughput regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,7 +164,13 @@ class CompressedSolver {
           for (int i = w.lo[0]; i < w.hi[0]; ++i) dst[i] = src[i];
           continue;
         }
-        if (w.lo[0] == 0) dst[0] = src[0];
+        // The x-edge copies must follow the traversal direction: the
+        // shifted dst row aliases the source row (j-1, k-1) resp.
+        // (j+1, k+1) of operators that read the full 3^3 neighborhood
+        // (Box27Op), so the copy at the trailing end of the row must not
+        // run until the stencil loop has passed it.
+        if (forward && w.lo[0] == 0) dst[0] = src[0];
+        if (!forward && w.hi[0] == nx_) dst[last_x] = src[last_x];
         if (sx0 < sx1) {
           const double* jm = src_row(j - 1, k);
           const double* jp = src_row(j + 1, k);
@@ -176,7 +182,8 @@ class CompressedSolver {
             op_.row_reverse(dst, src, jm, jp, km, kp, j, k, sx0, sx1);
           }
         }
-        if (w.hi[0] == nx_) dst[last_x] = src[last_x];
+        if (forward && w.hi[0] == nx_) dst[last_x] = src[last_x];
+        if (!forward && w.lo[0] == 0) dst[0] = src[0];
       }
     }
   }

@@ -105,6 +105,19 @@ inline void fill_test_pattern(Grid3& g, double scale = 1.0) {
       }
 }
 
+/// The standard two-material field: background kappa 1 with a
+/// high-conductivity (50x) slab across the middle third in z.  The one
+/// material the varcoef examples, benches, tuning probes and tests all
+/// share, so a tuned plan is probed and validated on identical physics.
+[[nodiscard]] inline Grid3 make_slab_kappa(int nx, int ny, int nz) {
+  Grid3 kappa(nx, ny, nz);
+  kappa.fill(1.0);
+  for (int k = nz / 3; k < 2 * nz / 3; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) kappa.at(i, j, k) = 50.0;
+  return kappa;
+}
+
 /// Maximum absolute difference over the unpadded extents of two grids of
 /// identical shape; returns +inf on shape mismatch.
 inline double max_abs_diff(const Grid3& a, const Grid3& b) {

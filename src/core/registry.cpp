@@ -1,5 +1,6 @@
 #include "core/registry.hpp"
 
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,6 +25,16 @@ std::string join(const std::vector<std::string>& names) {
   throw std::invalid_argument(os.str());
 }
 
+std::map<std::string, MetaVariantFactory>& meta_factories() {
+  static std::map<std::string, MetaVariantFactory> factories;
+  return factories;
+}
+
+std::vector<std::string>& meta_names() {
+  static std::vector<std::string> names;
+  return names;
+}
+
 }  // namespace
 
 const std::vector<std::string>& registered_variants() {
@@ -33,8 +44,29 @@ const std::vector<std::string>& registered_variants() {
 }
 
 const std::vector<std::string>& registered_operators() {
-  static const std::vector<std::string> kNames{"jacobi", "varcoef"};
+  static const std::vector<std::string> kNames{"jacobi", "varcoef",
+                                               "box27"};
   return kNames;
+}
+
+void register_meta_variant(const std::string& name, MetaVariantFactory fn) {
+  for (const std::string& concrete : registered_variants())
+    if (name == concrete)
+      throw std::invalid_argument("register_meta_variant: '" + name +
+                                  "' is a concrete variant name");
+  if (!meta_factories().contains(name)) meta_names().push_back(name);
+  meta_factories()[name] = std::move(fn);
+}
+
+const std::vector<std::string>& registered_meta_variants() {
+  return meta_names();
+}
+
+std::vector<std::string> selectable_variants() {
+  std::vector<std::string> names = registered_variants();
+  for (const std::string& m : registered_meta_variants())
+    names.push_back(m);
+  return names;
 }
 
 bool apply_variant(SolverConfig& cfg, std::string_view name) {
@@ -50,9 +82,15 @@ bool apply_variant(SolverConfig& cfg, std::string_view name) {
     cfg.pipeline.scheme = GridScheme::kCompressed;
   } else if (name == "wavefront") {
     cfg.variant = Variant::kWavefront;
+  } else if (meta_factories().contains(std::string(name))) {
+    // Resolution needs the problem (grid shape), which only make_solver
+    // sees; until then the config just remembers the request.
+    cfg.meta = std::string(name);
+    return true;
   } else {
     return false;
   }
+  cfg.meta.clear();
   return true;
 }
 
@@ -61,6 +99,8 @@ bool apply_operator(SolverConfig& cfg, std::string_view name) {
     cfg.op = Operator::kJacobi;
   } else if (name == "varcoef") {
     cfg.op = Operator::kVarCoef;
+  } else if (name == "box27") {
+    cfg.op = Operator::kBox27;
   } else {
     return false;
   }
@@ -68,6 +108,7 @@ bool apply_operator(SolverConfig& cfg, std::string_view name) {
 }
 
 std::string variant_name(const SolverConfig& cfg) {
+  if (!cfg.meta.empty()) return cfg.meta;
   if (cfg.variant == Variant::kPipelined &&
       cfg.pipeline.scheme == GridScheme::kCompressed)
     return "compressed";
@@ -76,7 +117,7 @@ std::string variant_name(const SolverConfig& cfg) {
 
 void configure_from_args(SolverConfig& cfg, const util::Args& args) {
   const std::string variant = args.get_choice("variant", variant_name(cfg),
-                                              registered_variants());
+                                              selectable_variants());
   const std::string op =
       args.get_choice("operator", to_string(cfg.op), registered_operators());
   apply_variant(cfg, variant);  // validated by get_choice
@@ -86,15 +127,24 @@ void configure_from_args(SolverConfig& cfg, const util::Args& args) {
 StencilSolver make_solver(std::string_view variant, std::string_view op,
                           SolverConfig cfg, const Grid3& initial,
                           const Grid3* kappa) {
+  const auto meta = meta_factories().find(std::string(variant));
+  if (meta != meta_factories().end()) {
+    if (!apply_operator(cfg, op))
+      throw_unknown("operator", op, registered_operators());
+    cfg.meta.clear();
+    return meta->second(op, std::move(cfg), initial, kappa);
+  }
   if (!apply_variant(cfg, variant))
-    throw_unknown("variant", variant, registered_variants());
+    throw_unknown("variant", variant, selectable_variants());
   if (!apply_operator(cfg, op))
     throw_unknown("operator", op, registered_operators());
-  if (cfg.op == Operator::kJacobi) return StencilSolver(cfg, initial);
-  if (kappa == nullptr)
-    throw std::invalid_argument(
-        "make_solver: operator 'varcoef' needs a kappa field");
-  return StencilSolver(cfg, initial, *kappa);
+  if (cfg.op == Operator::kVarCoef) {
+    if (kappa == nullptr)
+      throw std::invalid_argument(
+          "make_solver: operator 'varcoef' needs a kappa field");
+    return StencilSolver(cfg, initial, *kappa);
+  }
+  return StencilSolver(cfg, initial);
 }
 
 }  // namespace tb::core

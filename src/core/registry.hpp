@@ -8,14 +8,23 @@
 //
 //   reference | baseline | pipelined | compressed | wavefront
 //     x
-//   jacobi | varcoef
+//   jacobi | varcoef | box27
 //
 // The registry is the single source of truth for the names: the
 // examples' --variant/--operator flags, the autotuner's validation
 // matrix, the bench sweep and the equivalence test suite all enumerate
 // it instead of hardcoding subsets.
+//
+// On top of the concrete variants, *meta variants* are pluggable
+// resolvers registered at runtime (e.g. "auto", installed by the
+// src/tune/ subsystem): selecting one routes make_solver through a
+// factory that picks and configures a concrete variant.  Meta variants
+// are selectable (accepted by --variant and make_solver) but not
+// enumerable through registered_variants(), so sweeps and equivalence
+// matrices never trigger a tuning run by accident.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,12 +61,33 @@ void configure_from_args(SolverConfig& cfg, const util::Args& args);
 
 /// Constructs a solver from registry names.  `kappa` supplies the
 /// material field for operators that need one (required for "varcoef",
-/// ignored by "jacobi").  Throws std::invalid_argument on unknown names
-/// or a missing kappa.
+/// ignored by "jacobi"/"box27").  Meta-variant names resolve through
+/// their registered factory.  Throws std::invalid_argument on unknown
+/// names or a missing kappa.
 [[nodiscard]] StencilSolver make_solver(std::string_view variant,
                                         std::string_view op,
                                         SolverConfig cfg,
                                         const Grid3& initial,
                                         const Grid3* kappa = nullptr);
+
+// ---- meta variants ----------------------------------------------------
+
+/// Resolver behind a meta variant: receives the operator name, the
+/// caller's config (with cfg.meta already cleared, so calling back into
+/// make_solver with a concrete name cannot recurse), the initial grid
+/// and the optional kappa field, and returns a fully constructed solver.
+using MetaVariantFactory = std::function<StencilSolver(
+    std::string_view op, SolverConfig cfg, const Grid3& initial,
+    const Grid3* kappa)>;
+
+/// Registers (or replaces) a meta variant under `name`.  Names must not
+/// collide with concrete variant names.
+void register_meta_variant(const std::string& name, MetaVariantFactory fn);
+
+/// Currently registered meta-variant names, in registration order.
+[[nodiscard]] const std::vector<std::string>& registered_meta_variants();
+
+/// Concrete + meta names — the valid values of a --variant flag.
+[[nodiscard]] std::vector<std::string> selectable_variants();
 
 }  // namespace tb::core

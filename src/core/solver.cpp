@@ -200,6 +200,11 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial)
     throw std::invalid_argument(
         "StencilSolver: the varcoef operator needs a kappa field — use the "
         "(config, initial, kappa) constructor");
+  if (cfg.op == Operator::kBox27) {
+    impl_ = std::make_unique<OpImpl<Box27Op>>(cfg, initial,
+                                              OpState<Box27Op>{});
+    return;
+  }
   impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
                                              OpState<JacobiOp>{});
 }
@@ -210,6 +215,11 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
   if (cfg.op == Operator::kJacobi) {
     impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
                                                OpState<JacobiOp>{});
+    return;
+  }
+  if (cfg.op == Operator::kBox27) {
+    impl_ = std::make_unique<OpImpl<Box27Op>>(cfg, initial,
+                                              OpState<Box27Op>{});
     return;
   }
   if (kappa.nx() != initial.nx() || kappa.ny() != initial.ny() ||

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/baseline.hpp"
 #include "core/compressed.hpp"
@@ -37,6 +38,7 @@ enum class Variant {
 enum class Operator {
   kJacobi,   ///< constant-coefficient 7-point Jacobi (Eq. (1))
   kVarCoef,  ///< variable-coefficient (heterogeneous) diffusion
+  kBox27,    ///< 27-point trilinear box smoother (full 3^3 neighborhood)
 };
 
 [[nodiscard]] constexpr const char* to_string(Variant v) {
@@ -53,6 +55,7 @@ enum class Operator {
   switch (op) {
     case Operator::kJacobi: return "jacobi";
     case Operator::kVarCoef: return "varcoef";
+    case Operator::kBox27: return "box27";
   }
   return "?";
 }
@@ -65,6 +68,13 @@ struct SolverConfig {
   PipelineConfig pipeline{};
   BaselineConfig baseline{};
   WavefrontConfig wavefront{};
+
+  /// Requested *meta* variant (e.g. "auto", resolved to a concrete
+  /// variant by a factory registered through core/registry.hpp).  Empty
+  /// for concrete variants; when set, `variant`/`pipeline` hold the
+  /// defaults the resolver starts from, and registry::make_solver routes
+  /// construction through the registered factory.
+  std::string meta;
 };
 
 /// Owns the working grids and advances them by arbitrary step counts.

@@ -184,6 +184,81 @@ struct VarCoefOp {
   }
 };
 
+/// 27-point "box" smoother: the trilinear-weighted average of the full
+/// 3^3 neighborhood (corner 1, edge 2, face 4, center 8; total 64) —
+/// the separable [1 2 1]/4 filter applied along each axis.  This is the
+/// densest operator the temporal-blocking contract admits (kHalo = 1)
+/// and exercises every diagonal dependency of the skewed schedules.
+///
+/// The schemes only hand the operator five source-row pointers (center,
+/// j±1, k±1), but all rows of one grid live in a single allocation with
+/// constant j/k strides, so the four diagonal rows are recovered by
+/// pointer arithmetic: row(j±1, k±1) = k-row ± (j-row − center-row).
+/// This holds for the margin-shifted views of the compressed scheme too.
+///
+/// NO __restrict__ here, deliberately: in the compressed-grid scheme the
+/// destination row aliases the source row (j-1, k-1) (forward sweeps,
+/// which shift by (-1,-1,-1)) resp. (j+1, k+1) (backward sweeps).  The
+/// only colliding cell is the corner the current iteration overwrites,
+/// and each per-cell expression reads its sources before storing, so
+/// plain C semantics keep every traversal race-free — but telling the
+/// compiler "no aliasing" would be a lie.
+struct Box27Op {
+  static constexpr int kHalo = 1;
+  static constexpr bool kHasNontemporal = false;
+
+  /// One cell of the trilinear kernel.  Single source of truth for the
+  /// floating-point expression: every traversal order must evaluate the
+  /// identical arithmetic for bit-identical results.
+  static double cell(const double* c, const double* jm, const double* jp,
+                     const double* km, const double* kp, const double* kmjm,
+                     const double* kmjp, const double* kpjm,
+                     const double* kpjp, int i) {
+    const double corners = (kmjm[i - 1] + kmjm[i + 1]) +
+                           (kmjp[i - 1] + kmjp[i + 1]) +
+                           (kpjm[i - 1] + kpjm[i + 1]) +
+                           (kpjp[i - 1] + kpjp[i + 1]);
+    const double edges = (jm[i - 1] + jm[i + 1]) + (jp[i - 1] + jp[i + 1]) +
+                         (km[i - 1] + km[i + 1]) + (kp[i - 1] + kp[i + 1]) +
+                         (kmjm[i] + kmjp[i]) + (kpjm[i] + kpjp[i]);
+    const double faces = (c[i - 1] + c[i + 1]) + (jm[i] + jp[i]) +
+                         (km[i] + kp[i]);
+    return (corners + 2.0 * edges + (4.0 * faces + 8.0 * c[i])) / 64.0;
+  }
+
+  void row(double* dst, const double* c, const double* jm, const double* jp,
+           const double* km, const double* kp, int /*j*/, int /*k*/, int i0,
+           int i1) const {
+    const std::ptrdiff_t up = jp - c;  // +1 row in j, same allocation
+    const std::ptrdiff_t dn = jm - c;  // -1 row in j
+    const double* kmjm = km + dn;
+    const double* kmjp = km + up;
+    const double* kpjm = kp + dn;
+    const double* kpjp = kp + up;
+    for (int i = i0; i < i1; ++i)
+      dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
+  }
+
+  void row_reverse(double* dst, const double* c, const double* jm,
+                   const double* jp, const double* km, const double* kp,
+                   int /*j*/, int /*k*/, int i0, int i1) const {
+    const std::ptrdiff_t up = jp - c;
+    const std::ptrdiff_t dn = jm - c;
+    const double* kmjm = km + dn;
+    const double* kmjp = km + up;
+    const double* kpjm = kp + dn;
+    const double* kpjp = kp + up;
+    for (int i = i1 - 1; i >= i0; --i)
+      dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
+  }
+
+  void row_nt(double* dst, const double* c, const double* jm,
+              const double* jp, const double* km, const double* kp, int j,
+              int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, j, k, i0, i1);  // no streaming path
+  }
+};
+
 /// Applies one operator level over window `w`: dst <- op(src).
 template <class Op>
 inline void apply_box(const Op& op, const Grid3& src, Grid3& dst,

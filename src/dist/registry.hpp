@@ -1,0 +1,124 @@
+// String-registry access to the distributed solver, mirroring
+// core/registry.hpp for the rank-parallel layer: every registry operator
+// is constructible as DistributedStencil<Op> by name, behind one
+// type-erased interface, so CLIs and sweeps select the distributed
+// matrix with the same strings as the shared-memory one.
+//
+// The variant-string convention is a "dist:" prefix on the operator
+// ("dist:jacobi", "dist:varcoef", "dist:box27"): the distributed solver
+// always runs the pipelined scheme rank-locally (its per-level shrink
+// into the ghost layers is the pipelined geometry), so the operator is
+// the axis that varies.
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "dist/distributed_jacobi.hpp"
+
+namespace tb::dist {
+
+/// Type-erased distributed solver: one instance per rank, constructed
+/// inside World::run, same collective contract as DistributedStencil.
+class AnyDistributed {
+ public:
+  virtual ~AnyDistributed() = default;
+  virtual DistStats advance(int epochs) = 0;
+  virtual void gather(core::Grid3* out, int root) = 0;
+  [[nodiscard]] virtual int halo() const = 0;
+};
+
+namespace detail {
+
+template <class Op>
+class DistributedModel final : public AnyDistributed {
+ public:
+  DistributedModel(simnet::Comm& comm, const DistConfig& cfg,
+                   const core::Grid3& initial, const core::Grid3* kappa)
+      : impl_(comm, cfg, initial, kappa) {}
+
+  DistStats advance(int epochs) override { return impl_.advance(epochs); }
+  void gather(core::Grid3* out, int root) override {
+    impl_.gather(out, root);
+  }
+  [[nodiscard]] int halo() const override { return impl_.halo(); }
+
+ private:
+  DistributedStencil<Op> impl_;
+};
+
+}  // namespace detail
+
+/// True for "dist:<operator>" variant strings.
+[[nodiscard]] inline bool is_dist_variant(std::string_view name) {
+  return name.rfind("dist:", 0) == 0;
+}
+
+/// The operator part of a "dist:<operator>" string (unvalidated).
+[[nodiscard]] inline std::string_view dist_operator(std::string_view name) {
+  return is_dist_variant(name) ? name.substr(5) : name;
+}
+
+/// All constructible distributed variant names ("dist:" x operators).
+[[nodiscard]] inline std::vector<std::string> registered_dist_variants() {
+  std::vector<std::string> names;
+  for (const std::string& op : core::registered_operators())
+    names.push_back("dist:" + op);
+  return names;
+}
+
+/// Constructs the distributed solver for a registry operator name (bare
+/// "jacobi" or prefixed "dist:jacobi").  `kappa` is the *global*
+/// material field, required by "varcoef" and ignored by the stateless
+/// operators.  Throws std::invalid_argument on unknown names or a
+/// missing kappa.
+[[nodiscard]] inline std::unique_ptr<AnyDistributed> make_distributed(
+    std::string_view op, simnet::Comm& comm, const DistConfig& cfg,
+    const core::Grid3& initial, const core::Grid3* kappa = nullptr) {
+  const std::string_view bare = dist_operator(op);
+  if (bare == "jacobi")
+    return std::make_unique<detail::DistributedModel<core::JacobiOp>>(
+        comm, cfg, initial, nullptr);
+  if (bare == "box27")
+    return std::make_unique<detail::DistributedModel<core::Box27Op>>(
+        comm, cfg, initial, nullptr);
+  if (bare == "varcoef") {
+    if (kappa == nullptr)
+      throw std::invalid_argument(
+          "make_distributed: operator 'varcoef' needs the global kappa "
+          "field");
+    return std::make_unique<detail::DistributedModel<core::VarCoefOp>>(
+        comm, cfg, initial, kappa);
+  }
+  std::ostringstream os;
+  os << "unknown distributed operator '" << bare << "' (valid:";
+  for (const std::string& name : registered_dist_variants())
+    os << " " << name;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+/// Convenience driver mirroring run_distributed for registry names:
+/// runs `epochs` epochs on a fresh `ranks`-rank World and gathers the
+/// final state into `*out` (pre-sized to the global shape, boundary
+/// already present).
+inline void run_distributed_named(std::string_view op, int ranks,
+                                  const DistConfig& cfg,
+                                  const core::Grid3& initial, int epochs,
+                                  core::Grid3* out,
+                                  const core::Grid3* kappa = nullptr) {
+  simnet::World world(ranks);
+  world.run([&](simnet::Comm& comm) {
+    std::unique_ptr<AnyDistributed> solver =
+        make_distributed(op, comm, cfg, initial, kappa);
+    solver->advance(epochs);
+    solver->gather(comm.rank() == 0 ? out : nullptr, 0);
+  });
+}
+
+}  // namespace tb::dist

@@ -1,0 +1,128 @@
+// Unified query API over the analytic performance models — the single
+// entry point the model-guided tuner (src/tune/) ranks candidate
+// schedules with.
+//
+// The underlying physics is the paper's Sec. 1.4 bandwidth model
+// (single_cache_model.hpp) plus the wavefront capacity model
+// (wavefront_model.hpp), generalized from the hard-coded 16 B/LUP Jacobi
+// traffic to arbitrary per-operator byte counts:
+//
+//   time per update = mem_bytes / B_mem(threads) + cache_bytes / B_cache
+//
+// where temporal blocking of sweep depth S divides the main-memory
+// traffic by S and moves the remaining (S-1)/S updates onto the shared
+// cache.  Feasibility gates (does the wavefront's plane set fit the
+// cache? can the pipeline hold its in-flight blocks?) fall back to the
+// unblocked traffic instead of predicting impossible reuse.
+//
+// Everything here is *predictive ranking*, not measurement: the tuner
+// prunes the search space with these numbers, then settles the final
+// choice with short timed probes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "perfmodel/single_cache_model.hpp"
+#include "perfmodel/wavefront_model.hpp"
+#include "topo/machine.hpp"
+
+namespace tb::perfmodel {
+
+/// Main-memory traffic per lattice-site update of one standard two-grid
+/// sweep of an operator (solution read + write + write-allocate), plus
+/// any read-only auxiliary fields the operator streams (the varcoef
+/// face coefficients).
+struct OperatorTraffic {
+  double mem_bytes = 24.0;     ///< standard sweep, cached stores
+  double mem_bytes_nt = 24.0;  ///< with streaming stores (= mem_bytes if none)
+  double aux_bytes = 0.0;      ///< read-only per-cell auxiliary fields
+};
+
+/// Bandwidth-model view of one shared-memory node.
+class NodeModel {
+ public:
+  explicit NodeModel(topo::MachineSpec spec) : spec_(std::move(spec)) {
+    spec_.validate();
+  }
+
+  [[nodiscard]] const topo::MachineSpec& spec() const { return spec_; }
+
+  /// Achievable memory bandwidth of `threads` cores [B/s]: scales with
+  /// the thread count until the touched sockets' buses saturate.
+  [[nodiscard]] double mem_bw(int threads) const {
+    const int sockets_used =
+        std::clamp((threads + spec_.cores_per_socket - 1) /
+                       spec_.cores_per_socket,
+                   1, spec_.sockets);
+    return std::min(static_cast<double>(threads) * spec_.mem_bw_single,
+                    static_cast<double>(sockets_used) * spec_.mem_bw_socket);
+  }
+
+  /// Aggregate shared-cache bandwidth of `groups` cache groups [B/s].
+  [[nodiscard]] double cache_bw(int groups) const {
+    return spec_.cache_bw *
+           std::clamp(groups, 1, spec_.sockets);
+  }
+
+  /// Predicted throughput of the standard spatially blocked solver
+  /// [LUP/s] (Eq. (2) generalized to the operator's traffic).
+  [[nodiscard]] double baseline_lups(const OperatorTraffic& op, int threads,
+                                     bool nontemporal) const {
+    const double mem = (nontemporal ? op.mem_bytes_nt : op.mem_bytes) +
+                       op.aux_bytes;
+    return mem_bw(threads) / mem;
+  }
+
+  /// Predicted throughput of pipelined temporal blocking [LUP/s]:
+  /// `teams` teams of `t` threads, T updates per thread, sweep depth
+  /// S = teams*t*T, on blocks of `block_bytes` (one grid's bytes of one
+  /// block) at upper thread distance `du`.  The compressed storage
+  /// scheme avoids the write-allocate of the two-grid scheme.
+  [[nodiscard]] double pipelined_lups(const OperatorTraffic& op, int teams,
+                                      int t, int T, std::size_t block_bytes,
+                                      int du, bool compressed) const {
+    const double S = static_cast<double>(teams) * t * T;
+    // The compressed scheme's in-place stores avoid the write-allocate
+    // line (one word per update); in-cache updates likewise move the
+    // operator's traffic minus that line.
+    const double wa = sizeof(double);
+    const double base_mem =
+        (compressed ? op.mem_bytes - wa : op.mem_bytes) + op.aux_bytes;
+    // Sec. 1.3 capacity estimate: the shared cache must hold the du
+    // in-flight blocks of every thread (plus any auxiliary fields).
+    const double aux_factor = 1.0 + op.aux_bytes / op.mem_bytes;
+    const double max_du =
+        max_thread_distance(spec_, t,
+                            static_cast<std::size_t>(
+                                static_cast<double>(block_bytes) *
+                                aux_factor));
+    if (static_cast<double>(du) > max_du || max_du < 1.0)
+      return baseline_lups(op, teams * t, /*nontemporal=*/false);
+    const double mem = base_mem / S;
+    const double cache =
+        (op.mem_bytes - wa + op.aux_bytes) * (S - 1.0) / S;
+    return 1.0 /
+           (mem / mem_bw(teams * t) + cache / cache_bw(teams));
+  }
+
+  /// Predicted throughput of the t-thread wavefront on an nx*ny plane
+  /// [LUP/s]: pipeline-like reuse while the 2t planes stay cache
+  /// resident, standard-algorithm ceiling once they spill.
+  [[nodiscard]] double wavefront_lups(const OperatorTraffic& op, int t,
+                                      int nx, int ny) const {
+    if (!perfmodel::wavefront_fits(spec_, nx, ny, t))
+      return baseline_lups(op, t, /*nontemporal=*/false);
+    const double wa = sizeof(double);
+    const double S = static_cast<double>(t);
+    const double mem = (op.mem_bytes + op.aux_bytes) / S;
+    const double cache =
+        (op.mem_bytes - wa + op.aux_bytes) * (S - 1.0) / S;
+    return 1.0 / (mem / mem_bw(t) + cache / cache_bw(1));
+  }
+
+ private:
+  topo::MachineSpec spec_;
+};
+
+}  // namespace tb::perfmodel

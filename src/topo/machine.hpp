@@ -66,6 +66,14 @@ struct MachineSpec {
   }
 };
 
+/// Best-effort description of the machine this process runs on: core
+/// count from the scheduler, cache capacities from sysconf/sysfs where
+/// the OS exposes them, bandwidths left at generic estimates (measure
+/// them with perfmodel/stream.hpp when accuracy matters).  Deterministic
+/// on a given host — the tuning cache derives its machine signature from
+/// this spec, so two runs on the same machine must agree.
+[[nodiscard]] MachineSpec host_machine();
+
 /// The paper's testbed: dual-socket Intel Xeon 5550 (Nehalem EP), 2.66 GHz,
 /// 8 MB shared L3 per socket, Ms = 18.5 GB/s, Ms,1 = 10 GB/s, Mc ~ 8*Ms,1.
 [[nodiscard]] inline MachineSpec nehalem_ep() {

@@ -1,0 +1,38 @@
+#include "tune/measure.hpp"
+
+#include <algorithm>
+
+#include "core/registry.hpp"
+
+namespace tb::tune {
+
+double measure_candidate(const Candidate& c, const Problem& p,
+                         const ProbeOptions& opts) {
+  const int nx = std::clamp(p.nx, 4, std::max(4, opts.max_extent));
+  const int ny = std::clamp(p.ny, 4, std::max(4, opts.max_extent));
+  const int nz = std::clamp(p.nz, 4, std::max(4, opts.max_extent));
+
+  core::Grid3 initial(nx, ny, nz);
+  core::fill_test_pattern(initial);
+  // Only read by operators that take a material field.
+  const core::Grid3 kappa = core::make_slab_kappa(nx, ny, nz);
+
+  core::SolverConfig cfg;
+  c.apply(cfg);
+  // Blocks enumerated for the full problem may exceed the probe grid;
+  // clip them so the probe exercises the same schedule shape.
+  cfg.pipeline.block.bx = std::min(cfg.pipeline.block.bx, nx);
+  cfg.baseline.block.bx = std::min(cfg.baseline.block.bx, nx);
+
+  core::StencilSolver solver =
+      core::make_solver(c.variant, p.op, cfg, initial, &kappa);
+
+  const int depth = std::max(1, c.sweep_depth());
+  const int timed =
+      ((std::max(opts.min_steps, 2 * depth) + depth - 1) / depth) * depth;
+  solver.advance(depth);  // warm-up sweep: pools, pages, caches
+  const core::RunStats st = solver.advance(timed);
+  return st.mlups();
+}
+
+}  // namespace tb::tune

@@ -1,0 +1,27 @@
+// Timed probes: short real runs of shortlisted candidates through the
+// StencilSolver facade, on a probe grid capped to keep each probe in the
+// tens-of-milliseconds range.
+//
+// The models rank; measurement decides.  A probe advances one warm-up
+// team sweep (page placement, pool spin-up) and then times at least two
+// whole sweeps, so every temporally blocked candidate is measured on its
+// steady-state path rather than its baseline remainder fallback.
+#pragma once
+
+#include "tune/plan.hpp"
+
+namespace tb::tune {
+
+/// Probe sizing knobs.
+struct ProbeOptions {
+  int max_extent = 64;  ///< cap per grid dimension (probes stay small)
+  int min_steps = 4;    ///< lower bound on timed time levels
+};
+
+/// Runs one timed probe of `c` on (a capped version of) problem `p` and
+/// returns the measured MLUP/s.  Throws std::invalid_argument for
+/// unknown operator names (registry validation).
+[[nodiscard]] double measure_candidate(const Candidate& c, const Problem& p,
+                                       const ProbeOptions& opts = {});
+
+}  // namespace tb::tune

@@ -1,0 +1,67 @@
+#include "tune/model_ranker.hpp"
+
+#include <algorithm>
+
+namespace tb::tune {
+
+perfmodel::OperatorTraffic operator_traffic(const std::string& op) {
+  perfmodel::OperatorTraffic t;  // generic: 24 B/LUP, no NT, no aux
+  if (op == "jacobi") {
+    t.mem_bytes = 24.0;
+    t.mem_bytes_nt = 16.0;  // streaming stores skip the write-allocate
+  } else if (op == "varcoef") {
+    t.aux_bytes = 6 * sizeof(double);  // six face-coefficient fields
+  }
+  // box27 reads more *rows* but the same grids: traffic per update is
+  // identical to jacobi without the streaming-store path.
+  return t;
+}
+
+double predict_mlups(const Candidate& c, const Problem& p,
+                     const perfmodel::NodeModel& model) {
+  const perfmodel::OperatorTraffic traffic = operator_traffic(p.op);
+  double lups = 0.0;
+  switch (c.cfg.variant) {
+    case core::Variant::kReference:
+      lups = model.baseline_lups(traffic, 1, false);
+      break;
+    case core::Variant::kBaseline:
+      lups = model.baseline_lups(traffic, c.cfg.baseline.threads,
+                                 c.cfg.baseline.nontemporal);
+      break;
+    case core::Variant::kPipelined: {
+      const core::PipelineConfig& pl = c.cfg.pipeline;
+      const std::size_t block_bytes =
+          static_cast<std::size_t>(pl.block.bx) * pl.block.by *
+          pl.block.bz * sizeof(double);
+      lups = model.pipelined_lups(
+          traffic, pl.teams, pl.team_size, pl.steps_per_thread, block_bytes,
+          pl.du, pl.scheme == core::GridScheme::kCompressed);
+      break;
+    }
+    case core::Variant::kWavefront:
+      lups = model.wavefront_lups(traffic, c.cfg.wavefront.threads, p.nx,
+                                  p.ny);
+      break;
+  }
+  return lups / 1e6;
+}
+
+void rank_candidates(std::vector<Candidate>& candidates, const Problem& p,
+                     const topo::MachineSpec& machine) {
+  const perfmodel::NodeModel model(machine);
+  for (Candidate& c : candidates)
+    c.predicted_mlups = predict_mlups(c, p, model);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.predicted_mlups > b.predicted_mlups;
+                   });
+}
+
+std::vector<Candidate> shortlist(const std::vector<Candidate>& ranked,
+                                 int k) {
+  if (k <= 0 || static_cast<std::size_t>(k) >= ranked.size()) return ranked;
+  return {ranked.begin(), ranked.begin() + k};
+}
+
+}  // namespace tb::tune

@@ -1,0 +1,101 @@
+#include "tune/planner.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+#include "tune/model_ranker.hpp"
+#include "tune/search_space.hpp"
+#include "tune/tuning_cache.hpp"
+
+namespace tb::tune {
+
+namespace {
+
+void validate_problem(const Problem& p) {
+  if (p.nx < 3 || p.ny < 3 || p.nz < 3)
+    throw std::invalid_argument(
+        "tune::plan: grid must be at least 3^3 (boundary + interior)");
+  bool known_op = false;
+  for (const std::string& op : core::registered_operators())
+    known_op = known_op || op == p.op;
+  if (!known_op)
+    throw std::invalid_argument("tune::plan: unknown operator '" + p.op +
+                                "'");
+  if (!p.variant.empty()) {
+    bool known = false;
+    for (const std::string& v : core::registered_variants())
+      known = known || v == p.variant;
+    if (!known)
+      throw std::invalid_argument("tune::plan: unknown variant constraint '" +
+                                  p.variant + "'");
+  }
+}
+
+}  // namespace
+
+Plan plan(const Problem& p, const PlanOptions& opts) {
+  validate_problem(p);
+  const topo::MachineSpec machine =
+      opts.machine.has_value() ? *opts.machine : topo::host_machine();
+  machine.validate();
+
+  const std::string cache_path =
+      opts.cache_path.empty() ? default_cache_path() : opts.cache_path;
+  TuningCache cache(cache_path, machine_signature(machine));
+
+  if (opts.use_cache) {
+    cache.load();
+    if (std::optional<Candidate> hit = cache.find(p)) {
+      if (opts.verbose)
+        std::printf("tune: cache hit for %s in %s — 0 probes\n",
+                    p.describe().c_str(), cache.path().c_str());
+      Plan out;
+      out.best = *hit;
+      out.from_cache = true;
+      return out;
+    }
+    if (opts.verbose)
+      std::printf("tune: cache miss for %s (%zu entries in %s)\n",
+                  p.describe().c_str(), cache.size(),
+                  cache.path().c_str());
+  }
+
+  std::vector<Candidate> candidates = enumerate_candidates(p, machine);
+  if (candidates.empty())
+    throw std::invalid_argument("tune::plan: no candidates for problem " +
+                                p.describe());
+  Plan out;
+  out.enumerated = static_cast<int>(candidates.size());
+
+  rank_candidates(candidates, p, machine);
+  out.shortlist = shortlist(candidates, opts.shortlist_size);
+  if (opts.verbose)
+    std::printf("tune: %d candidates on %s, probing top %zu\n",
+                out.enumerated, machine.name.c_str(),
+                out.shortlist.size());
+
+  for (Candidate& c : out.shortlist) {
+    c.measured_mlups = measure_candidate(c, p, opts.probe);
+    ++out.probes_run;
+    if (opts.verbose)
+      std::printf("tune:   probe %-38s model %8.1f  measured %8.1f MLUP/s\n",
+                  c.describe().c_str(), c.predicted_mlups,
+                  c.measured_mlups);
+  }
+
+  const Candidate* best = &out.shortlist.front();
+  for (const Candidate& c : out.shortlist)
+    if (c.measured_mlups > best->measured_mlups) best = &c;
+  out.best = *best;
+
+  if (opts.use_cache) {
+    cache.put(p, out.best);
+    if (cache.save() && opts.verbose)
+      std::printf("tune: saved plan %s to %s\n",
+                  out.best.describe().c_str(), cache.path().c_str());
+  }
+  return out;
+}
+
+}  // namespace tb::tune

@@ -1,0 +1,46 @@
+// Planner front end of the autotuning subsystem:
+//
+//   tune::plan(Problem) -> Plan
+//
+// orchestrates the whole funnel — persistent-cache lookup, candidate
+// enumeration, model ranking, timed probes of the shortlist, cache
+// write-back — and is what both the `auto` registry variant and the
+// autotune example drive.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "topo/machine.hpp"
+#include "tune/measure.hpp"
+#include "tune/plan.hpp"
+
+namespace tb::tune {
+
+struct PlanOptions {
+  /// Machine to tune for; nullopt = topo::host_machine().  Plans are
+  /// cached under this machine's signature.
+  std::optional<topo::MachineSpec> machine;
+
+  int shortlist_size = 4;  ///< model-ranked survivors that get probed
+  ProbeOptions probe{};    ///< probe grid cap / step floor
+
+  bool use_cache = true;
+  std::string cache_path;  ///< empty = default_cache_path()
+
+  bool verbose = false;  ///< print ranking, probes and cache traffic
+};
+
+/// Tunes `p`: returns the cached plan when one exists for this machine
+/// (zero probes), otherwise enumerates, ranks, measures the shortlist,
+/// and persists the winner.  Throws std::invalid_argument when the
+/// problem names an unknown operator/variant or admits no candidates.
+[[nodiscard]] Plan plan(const Problem& p, const PlanOptions& opts = {});
+
+/// Registers the "auto" meta variant with the core registry (idempotent;
+/// also runs automatically at static-initialization time when tb_tune is
+/// linked in).  With it, make_solver("auto", op, cfg, grid, kappa) and
+/// `--variant auto` resolve through plan().
+bool install_auto_variant();
+
+}  // namespace tb::tune

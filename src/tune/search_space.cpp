@@ -1,0 +1,141 @@
+#include "tune/search_space.hpp"
+
+#include <algorithm>
+
+#include "core/registry.hpp"
+
+namespace tb::tune {
+
+namespace {
+
+/// Powers of two up to (and always including) `cap`.
+std::vector<int> thread_ladder(int cap) {
+  std::vector<int> counts;
+  for (int t = 1; t < cap; t *= 2) counts.push_back(t);
+  counts.push_back(cap);
+  return counts;
+}
+
+/// Square (j, k) tiles from the geometric ladder, clipped to the
+/// interior extent and deduplicated.
+std::vector<int> tile_ladder(int interior) {
+  std::vector<int> tiles;
+  for (int t : {8, 16, 32}) {
+    const int clipped = std::max(1, std::min(t, interior));
+    if (tiles.empty() || tiles.back() != clipped) tiles.push_back(clipped);
+  }
+  return tiles;
+}
+
+bool wants(const Problem& p, const char* variant) {
+  return p.variant.empty() || p.variant == variant;
+}
+
+}  // namespace
+
+std::vector<Candidate> enumerate_candidates(
+    const Problem& p, const topo::MachineSpec& machine) {
+  std::vector<Candidate> out;
+  const int cores = machine.total_cores();
+  const std::vector<int> threads = thread_ladder(cores);
+  const std::vector<int> tiles = tile_ladder(std::max(p.ny - 2, 1));
+
+  // The oracle is only a "schedule" when explicitly requested; tuning
+  // never proposes a single-threaded naive sweep on its own.
+  if (p.variant == "reference") {
+    Candidate c;
+    c.variant = "reference";
+    c.cfg.variant = core::Variant::kReference;
+    out.push_back(c);
+    return out;
+  }
+
+  if (wants(p, "baseline")) {
+    for (int th : threads)
+      for (int tile : tiles) {
+        Candidate c;
+        c.variant = "baseline";
+        c.cfg.variant = core::Variant::kBaseline;
+        c.cfg.baseline.threads = th;
+        c.cfg.baseline.block = {p.nx, tile, tile};
+        // Streaming stores only exist for operators with an NT path and
+        // only pay off when the grid exceeds the outer cache (Sec. 1.1).
+        c.cfg.baseline.nontemporal =
+            p.op == "jacobi" &&
+            static_cast<std::size_t>(p.nx) * p.ny * p.nz *
+                    (2 * sizeof(double)) >
+                machine.shared_cache_bytes;
+        out.push_back(c);
+      }
+  }
+
+  for (const char* scheme : {"pipelined", "compressed"}) {
+    if (!wants(p, scheme)) continue;
+    // One team per outer-level cache group, or everything in one team.
+    // Multicore machines start at t = 2 (t = 1 pipelines are dominated
+    // there); a single-core machine keeps t = 1 so a pipelined/
+    // compressed constraint is always satisfiable (serial temporal
+    // blocking with T > 1 is still a real schedule).  Like
+    // thread_ladder(), the ladder always includes the full cache group
+    // (6-core sockets must compete at 6 threads, not stop at 4).
+    const int t_first = machine.cores_per_socket >= 2 ? 2 : 1;
+    std::vector<int> team_sizes;
+    for (int t = t_first; t < machine.cores_per_socket; t *= 2)
+      team_sizes.push_back(t);
+    if (team_sizes.empty() ||
+        team_sizes.back() != machine.cores_per_socket)
+      team_sizes.push_back(machine.cores_per_socket);
+    for (int teams : {1, machine.sockets}) {
+      for (int t : team_sizes) {
+        if (teams * t > cores) continue;
+        for (int T : {1, 2, 4})
+          for (int du : {2, 4, 8})
+            for (int tile : tiles) {
+              Candidate c;
+              c.variant = scheme;
+              core::apply_variant(c.cfg, scheme);  // variant + storage scheme
+              c.cfg.pipeline.teams = teams;
+              c.cfg.pipeline.team_size = t;
+              c.cfg.pipeline.steps_per_thread = T;
+              c.cfg.pipeline.block = {p.nx, tile, tile};
+              c.cfg.pipeline.dl = 1;
+              c.cfg.pipeline.du = du;
+              // Remainder steps (not a multiple of the depth) fall back
+              // to baseline sweeps with the same thread count.
+              c.cfg.baseline.threads = teams * t;
+              c.cfg.baseline.block = {p.nx, tile, tile};
+              c.cfg.baseline.nontemporal = false;
+              c.cfg.pipeline.validate();
+              out.push_back(c);
+            }
+      }
+      if (machine.sockets == 1) break;  // the {1, sockets} set collapsed
+    }
+  }
+
+  if (wants(p, "wavefront")) {
+    for (int th : threads) {
+      // Depth-1 wavefronts are dominated by the baseline, except on a
+      // single-core machine where they are the only wavefront there is.
+      if (th < 2 && cores > 1) continue;
+      int prev_by = 0;
+      for (int by : {8, 16}) {
+        const int clipped = std::max(1, std::min(by, p.ny - 2));
+        if (clipped == prev_by) continue;  // both clip to ny-2: dedup
+        prev_by = clipped;
+        Candidate c;
+        c.variant = "wavefront";
+        c.cfg.variant = core::Variant::kWavefront;
+        c.cfg.wavefront.threads = th;
+        c.cfg.wavefront.by = clipped;
+        c.cfg.baseline.threads = th;  // remainder fallback
+        c.cfg.baseline.nontemporal = false;
+        out.push_back(c);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace tb::tune

@@ -1,0 +1,26 @@
+// Candidate enumeration: the deterministic, machine-shaped search space
+// the model ranker prunes.
+//
+// The paper stresses that "the parameter space for temporal blocking
+// schemes, and especially for pipelined blocking, is huge"; the
+// enumeration here keeps it finite by construction: thread counts are
+// the powers of two up to the machine's cores, block tiles come from a
+// small geometric ladder clipped to the grid, and T/du range over the
+// values the paper's experiments identified as the interesting region.
+#pragma once
+
+#include <vector>
+
+#include "topo/machine.hpp"
+#include "tune/plan.hpp"
+
+namespace tb::tune {
+
+/// Enumerates every candidate schedule for `p` on `machine`.  Pure
+/// function of its arguments: two calls return identical lists, which
+/// is what makes cached plans and test expectations reproducible.
+/// Honors p.variant as a constraint ("" = all concrete variants).
+[[nodiscard]] std::vector<Candidate> enumerate_candidates(
+    const Problem& p, const topo::MachineSpec& machine);
+
+}  // namespace tb::tune

@@ -19,16 +19,7 @@ namespace tb::core {
 namespace {
 
 using tb::test::make_initial;
-
-/// Two-material kappa field matching the grid shape.
-Grid3 make_kappa(int nx, int ny, int nz) {
-  Grid3 kappa(nx, ny, nz);
-  kappa.fill(1.0);
-  for (int k = nz / 3; k < 2 * nz / 3; ++k)
-    for (int j = 0; j < ny; ++j)
-      for (int i = 0; i < nx; ++i) kappa.at(i, j, k) = 50.0;
-  return kappa;
-}
+using tb::test::make_kappa;
 
 /// Oracle: naive sweeps of the named operator.
 Grid3 reference_result_op(const std::string& op, const Grid3& initial,
@@ -38,6 +29,8 @@ Grid3 reference_result_op(const std::string& op, const Grid3& initial,
     const DiffusionCoefficients coeffs(kappa);
     return reference_solve_op(VarCoefOp{&coeffs}, a, b, steps).clone();
   }
+  if (op == "box27")
+    return reference_solve_op(Box27Op{}, a, b, steps).clone();
   return reference_solve_op(JacobiOp{}, a, b, steps).clone();
 }
 
@@ -109,7 +102,55 @@ INSTANTIATE_TEST_SUITE_P(RemainderNonCubic, StencilMatrix,
 
 TEST(Registry, EnumeratesTheFullMatrix) {
   EXPECT_EQ(registered_variants().size(), 5u);
-  EXPECT_EQ(registered_operators().size(), 2u);
+  EXPECT_EQ(registered_operators().size(), 3u);
+}
+
+TEST(Registry, MetaVariantsAreSelectableButNotEnumerable) {
+  // This suite links tb_core only, so no meta variant is installed yet:
+  // registration is dynamic and selectable_variants() reflects it.
+  EXPECT_EQ(selectable_variants().size(),
+            registered_variants().size() +
+                registered_meta_variants().size());
+  register_meta_variant("always-baseline",
+                        [](std::string_view op, SolverConfig cfg,
+                           const Grid3& initial, const Grid3* kappa) {
+                          apply_variant(cfg, "baseline");
+                          return make_solver("baseline", op, cfg, initial,
+                                             kappa);
+                        });
+  EXPECT_EQ(selectable_variants().size(),
+            registered_variants().size() +
+                registered_meta_variants().size());
+  // Enumerable sweeps (benches, equivalence matrices) never see it...
+  for (const std::string& v : registered_variants())
+    EXPECT_NE(v, "always-baseline");
+  // ...but make_solver resolves it, and the resolved solver matches the
+  // reference bit for bit like any concrete variant.
+  const Grid3 initial = make_initial(10, 10, 10);
+  SolverConfig cfg;
+  cfg.baseline.threads = 2;
+  StencilSolver s = make_solver("always-baseline", "jacobi", cfg, initial);
+  s.advance(3);
+  EXPECT_EQ(max_abs_diff(s.solution(),
+                         tb::test::reference_result(initial, 3)),
+            0.0);
+  // Meta names must not shadow concrete ones.
+  EXPECT_THROW(register_meta_variant("baseline", nullptr),
+               std::invalid_argument);
+}
+
+TEST(Registry, MetaVariantNameSurvivesConfigureRoundTrip) {
+  register_meta_variant("roundtrip-meta",
+                        [](std::string_view op, SolverConfig cfg,
+                           const Grid3& initial, const Grid3* kappa) {
+                          return make_solver("reference", op, cfg, initial,
+                                             kappa);
+                        });
+  SolverConfig cfg;
+  ASSERT_TRUE(apply_variant(cfg, "roundtrip-meta"));
+  EXPECT_EQ(variant_name(cfg), "roundtrip-meta");
+  ASSERT_TRUE(apply_variant(cfg, "pipelined"));  // concrete clears meta
+  EXPECT_EQ(variant_name(cfg), "pipelined");
 }
 
 TEST(Registry, UnknownNamesThrow) {

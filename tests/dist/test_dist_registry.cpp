@@ -1,0 +1,83 @@
+// Distributed string registry: every registry operator is constructible
+// as a DistributedStencil by name (bare or "dist:"-prefixed), the
+// decomposed run stays bit-identical to the shared-memory reference, and
+// bad names / missing material fields fail loudly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/registry.hpp"
+#include "dist/registry.hpp"
+#include "support/grid_test_utils.hpp"
+
+namespace tb::dist {
+namespace {
+
+using tb::test::make_initial;
+using tb::test::make_kappa;
+
+TEST(DistRegistry, NamesEnumerateTheOperatorAxis) {
+  const auto names = registered_dist_variants();
+  ASSERT_EQ(names.size(), core::registered_operators().size());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(is_dist_variant(name)) << name;
+    bool known = false;
+    for (const std::string& op : core::registered_operators())
+      known = known || op == dist_operator(name);
+    EXPECT_TRUE(known) << name;
+  }
+  EXPECT_FALSE(is_dist_variant("pipelined"));
+  EXPECT_EQ(dist_operator("dist:box27"), "box27");
+  EXPECT_EQ(dist_operator("box27"), "box27");  // bare names pass through
+}
+
+TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
+  const int n = 20, epochs = 2;
+  const core::Grid3 initial = make_initial(n);
+  const core::Grid3 kappa = make_kappa(n);
+
+  DistConfig cfg;
+  cfg.proc_dims = {2, 2, 1};
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = 2;
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {8, 6, 6};
+  const int steps = epochs * cfg.pipeline.levels_per_sweep();
+
+  for (const std::string& op : core::registered_operators()) {
+    core::SolverConfig ref_cfg;
+    core::StencilSolver ref =
+        core::make_solver("reference", op, ref_cfg, initial, &kappa);
+    ref.advance(steps);
+
+    core::Grid3 result = initial.clone();
+    run_distributed_named(op, 4, cfg, initial, epochs, &result, &kappa);
+    EXPECT_EQ(core::max_abs_diff(result, ref.solution()), 0.0)
+        << "operator " << op;
+
+    // The "dist:" spelling is the same factory.
+    core::Grid3 prefixed = initial.clone();
+    run_distributed_named("dist:" + op, 4, cfg, initial, epochs, &prefixed,
+                          &kappa);
+    EXPECT_EQ(core::max_abs_diff(prefixed, result), 0.0)
+        << "operator dist:" << op;
+  }
+}
+
+TEST(DistRegistry, BadNamesAndMissingKappaThrow) {
+  const core::Grid3 initial = make_initial(12);
+  DistConfig cfg;
+  cfg.pipeline.team_size = 1;
+  simnet::World world(1);
+  world.run([&](simnet::Comm& comm) {
+    EXPECT_THROW((void)make_distributed("lbm", comm, cfg, initial),
+                 std::invalid_argument);
+    EXPECT_THROW((void)make_distributed("dist:gauss", comm, cfg, initial),
+                 std::invalid_argument);
+    EXPECT_THROW((void)make_distributed("varcoef", comm, cfg, initial),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace tb::dist

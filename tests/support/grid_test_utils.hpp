@@ -37,6 +37,17 @@ inline constexpr std::array<std::array<int, 3>, 3> kLargeShapes{{
   return make_initial(n, n, n);
 }
 
+/// The standard two-material field (core::make_slab_kappa) under the
+/// test tree's naming convention.
+[[nodiscard]] inline core::Grid3 make_kappa(int nx, int ny, int nz) {
+  return core::make_slab_kappa(nx, ny, nz);
+}
+
+/// Cubic overload: n^3 material field.
+[[nodiscard]] inline core::Grid3 make_kappa(int n) {
+  return make_kappa(n, n, n);
+}
+
 /// Result of `steps` naive reference sweeps from `initial` — the
 /// correctness oracle every solver variant is compared against.
 [[nodiscard]] inline core::Grid3 reference_result(const core::Grid3& initial,
