@@ -6,9 +6,12 @@
 // more to win before the in-core collision cost binds.  This bench runs
 // the calibrated node simulator with the D3Q19 kernel traits and a host
 // correctness cross-check of the executing pipelined LBM.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "lbm/solver.hpp"
+#include "core/registry.hpp"
+#include "lbm/stencil_op.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -54,36 +57,46 @@ int main(int argc, char** argv) {
   t.print();
   t.write_csv("lbm_blocking.csv");
 
-  // Host cross-check: pipelined LBM == reference LBM, bit for bit.
+  // Host cross-check: every scheme of the registry matrix runs the lbm
+  // operator bit-identically to the naive reference — both the density
+  // carrier and the full distribution lattices.
   {
     const int m = 16;
-    tb::lbm::Geometry geo = tb::lbm::Geometry::cavity(m, m, m);
-    tb::lbm::LbmConfig cfg;
-    cfg.lid_velocity = {0.05, 0, 0};
-    tb::core::PipelineConfig pc;
-    pc.teams = 1;
-    pc.team_size = 2;
-    pc.steps_per_thread = 2;
-    pc.block = {6, 5, 4};
-    auto fresh = [&] {
-      tb::lbm::Lattice l(m, m, m);
-      l.init_equilibrium(1.0, {0, 0, 0});
-      return l;
-    };
-    auto ra = fresh(), rb = fresh(), pa = fresh(), pb = fresh();
-    tb::lbm::ReferenceLbm ref(geo, cfg);
-    tb::lbm::PipelinedLbm pipe(geo, cfg, pc);
-    const int sweeps = 3;
-    ref.run(ra, rb, sweeps * pc.levels_per_sweep());
-    pipe.run(pa, pb, sweeps);
-    auto& rres = (sweeps * pc.levels_per_sweep()) % 2 == 0 ? ra : rb;
-    auto& pres = pipe.result(pa, pb, sweeps);
-    const double diff = pres.max_abs_diff(rres);
-    std::printf("\nhost cross-check (16^3 cavity, %d levels): "
-                "max |diff| = %g %s\n",
-                sweeps * pc.levels_per_sweep(), diff,
-                diff == 0.0 ? "(bit-identical)" : "(MISMATCH!)");
-    if (diff != 0.0) return 1;
+    tb::core::SolverConfig cfg;
+    cfg.lbm.lid_velocity = {0.05, 0, 0};
+    cfg.pipeline.teams = 1;
+    cfg.pipeline.team_size = 2;
+    cfg.pipeline.steps_per_thread = 2;
+    cfg.pipeline.block = {6, 5, 4};
+    cfg.baseline.threads = 2;
+    cfg.wavefront.threads = 2;
+    tb::core::Grid3 initial(m, m, m);
+    initial.fill(1.0);
+    const int steps = 3 * cfg.pipeline.levels_per_sweep();
+
+    tb::core::StencilSolver ref =
+        tb::core::make_solver("reference", "lbm", cfg, initial);
+    ref.advance(steps);
+
+    bool all_ok = true;
+    for (const std::string& v : tb::core::registered_variants()) {
+      if (v == "reference") continue;
+      tb::core::StencilSolver solver =
+          tb::core::make_solver(v, "lbm", cfg, initial);
+      solver.advance(steps);
+      double diff =
+          tb::core::max_abs_diff(solver.solution(), ref.solution());
+      diff = std::max(
+          diff, solver.lbm_state()->current(steps).max_abs_diff(
+                    ref.lbm_state()->current(steps)));
+      std::printf("\nhost cross-check %-10s (16^3 cavity, %d levels): "
+                  "max |diff| = %g %s",
+                  v.c_str(), steps, diff,
+                  diff == 0.0 ? "(bit-identical)" : "(MISMATCH!)");
+      all_ok = all_ok && diff == 0.0;
+    }
+    std::printf("\n");
+    if (!all_ok) return 1;
   }
   return 0;
 }

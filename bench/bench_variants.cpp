@@ -18,6 +18,7 @@
 
 #include "core/registry.hpp"
 #include "core/stencil_op.hpp"
+#include "perfmodel/model_api.hpp"
 #include "util/args.hpp"
 #include "util/bench_report.hpp"
 #include "util/table.hpp"
@@ -34,16 +35,21 @@ int sweep_depth(const SolverConfig& cfg) {
   }
 }
 
-double model_bytes_per_lup(const SolverConfig& cfg) {
+double model_bytes_per_lup(const SolverConfig& cfg,
+                           const std::string& opname) {
+  // Per-operator traffic from the shared perfmodel table (the same one
+  // the autotuner ranks with), amortized over the team-sweep depth.
+  const tb::perfmodel::OperatorTraffic t =
+      tb::perfmodel::operator_traffic(opname);
   const int S = sweep_depth(cfg);
   const bool compressed = cfg.variant == Variant::kPipelined &&
                           cfg.pipeline.scheme == GridScheme::kCompressed;
   const bool streaming = cfg.variant == Variant::kBaseline &&
                          cfg.baseline.nontemporal &&
-                         cfg.op == Operator::kJacobi;
-  double bytes = (compressed || streaming) ? 16.0 : 24.0;
-  if (cfg.op == Operator::kVarCoef) bytes += 6.0 * 8.0;  // face fields
-  return bytes / S;
+                         t.mem_bytes_nt < t.mem_bytes;
+  double bytes = streaming ? t.mem_bytes_nt : t.mem_bytes;
+  if (compressed) bytes -= sizeof(double);  // in-place: no write-allocate
+  return (bytes + t.aux_bytes) / S;
 }
 
 }  // namespace
@@ -110,7 +116,7 @@ int main(int argc, char** argv) {
           max_abs_diff(solver.solution(), ref.solution()) == 0.0;
       all_ok = all_ok && ok;
 
-      const double bpl = model_bytes_per_lup(solver.config());
+      const double bpl = model_bytes_per_lup(solver.config(), opname);
       t.add(vname, opname, st.mlups(), bpl, ok ? "yes" : "NO");
       report.push_back({vname + "/" + opname, bpl, st.mlups()});
     }

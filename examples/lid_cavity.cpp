@@ -1,0 +1,81 @@
+// Lid-driven cavity flow through the registry: the lattice-Boltzmann
+// application the paper announces as the follow-up to its Jacobi
+// prototype, now just `--operator lbm` on the unified solver stack.
+//
+//   $ ./lid_cavity [--n 32] [--steps 400] [--omega 1.2] [--ulid 0.05]
+//                  [--variant pipelined|compressed|wavefront|baseline|auto]
+//                  [--t 2]
+//
+// A cubic box of fluid, all walls no-slip except the top (z = max) lid
+// moving in +x.  Any scheme of the variant x operator matrix (including
+// the autotuned "auto") advances the same D3Q19 stream-collide update;
+// the solver facade reports the evolved density field, and the lbm
+// side-channel state provides the flow diagnostics: the classic u_x
+// profile along the vertical center line (recirculation vortex) plus
+// mass conservation.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "lbm/stencil_op.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  const int n = static_cast<int>(args.get_int("n", 32));
+  const int steps = static_cast<int>(args.get_int("steps", 400));
+  const int t = static_cast<int>(args.get_int("t", 2));
+
+  tb::core::SolverConfig cfg;
+  cfg.lbm.omega = args.get_double("omega", 1.2);
+  cfg.lbm.lid_velocity = {args.get_double("ulid", 0.05), 0.0, 0.0};
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = t;
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {n, 8, 8};
+  cfg.pipeline.du = 3;
+  cfg.baseline.threads = t;
+  cfg.wavefront.threads = t;
+  const std::string variant = args.get_choice(
+      "variant", "pipelined", tb::core::selectable_variants());
+
+  // Initial state: fluid at rest, unit density everywhere; the operator
+  // derives the cavity geometry (closed box, moving top lid) from the
+  // grid shape.
+  tb::core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+
+  tb::core::StencilSolver solver =
+      tb::core::make_solver(variant, "lbm", cfg, initial);
+  const tb::lbm::LbmState* state = solver.lbm_state();
+  const double mass0 =
+      state->current(0).total_mass(state->geometry());
+
+  const tb::core::RunStats st = solver.advance(steps);
+  const tb::lbm::Lattice& result = state->current(solver.levels_done());
+
+  std::printf(
+      "lid-driven cavity %d^3 (%s), omega=%.2f, u_lid=%.3f, %d steps\n",
+      n, variant.c_str(), cfg.lbm.omega, cfg.lbm.lid_velocity[0], steps);
+  std::printf("wall time %.3f s, %.1f MLUP/s (host), mass drift %.2e\n\n",
+              st.seconds, st.mlups(),
+              result.total_mass(state->geometry()) / mass0 - 1.0);
+
+  std::printf("u_x / u_lid along the vertical center line:\n");
+  std::printf("%6s  %10s\n", "z/n", "u_x/u_lid");
+  for (int k = 1; k < n - 1; k += std::max(1, (n - 2) / 16)) {
+    const auto u = result.velocity(n / 2, n / 2, k);
+    std::printf("%6.3f  %10.4f\n", static_cast<double>(k) / (n - 1),
+                u[0] / cfg.lbm.lid_velocity[0]);
+  }
+
+  // The signature of the cavity vortex: forward flow under the lid,
+  // reverse flow near the bottom.
+  const auto top = result.velocity(n / 2, n / 2, n - 2);
+  const auto bottom = result.velocity(n / 2, n / 2, 1 + n / 8);
+  std::printf("\nnear-lid u_x = %.4f, lower-cavity u_x = %.4f %s\n",
+              top[0], bottom[0],
+              (top[0] > 0 && bottom[0] < top[0]) ? "(vortex forming)"
+                                                 : "");
+  return 0;
+}

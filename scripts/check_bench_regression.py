@@ -9,6 +9,14 @@ than the threshold (default 25%), printing a per-entry table either way.
 
 Usage:
     check_bench_regression.py --old PREV_DIR --new NEW_DIR [--threshold 0.25]
+                              [--thresholds MAP.json]
+
+--thresholds names a JSON object mapping entry-key patterns
+(fnmatch-style, matched against "BENCH_<file>.json:<entry>") to
+per-entry thresholds; the first matching pattern (in file order) wins,
+unmatched entries use --threshold.  This is how stable entries (naive
+reference sweeps) get a tight gate while noisy ones (temporally blocked
+schedules on shared CI runners) keep headroom.
 
 Entries present on only one side are reported but never fail the check
 (benches come and go across PRs); a missing or empty --old directory is a
@@ -27,6 +35,7 @@ Only the Python standard library is used.
 import argparse
 import json
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
 
 
@@ -50,6 +59,36 @@ def load_records(directory: Path) -> dict:
     return records
 
 
+def load_threshold_map(path: Path) -> list:
+    """Ordered (pattern, threshold) pairs from a JSON object file."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read threshold map {path}: {err}")
+        raise SystemExit(1)
+    if not isinstance(raw, dict):
+        print(f"error: threshold map {path} must be a JSON object")
+        raise SystemExit(1)
+    pairs = []
+    for pattern, value in raw.items():
+        if pattern.startswith("__"):  # annotation keys, e.g. __comment
+            continue
+        if not isinstance(value, (int, float)) or not 0 < value < 1:
+            print(f"error: threshold for '{pattern}' must be in (0, 1), "
+                  f"got {value!r}")
+            raise SystemExit(1)
+        pairs.append((pattern, float(value)))
+    return pairs
+
+
+def threshold_for(key: str, pairs: list, default: float) -> float:
+    """First matching pattern wins; --threshold covers the rest."""
+    for pattern, value in pairs:
+        if fnmatchcase(key, pattern):
+            return value
+    return default
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--old", required=True, type=Path,
@@ -58,7 +97,12 @@ def main() -> int:
                         help="directory with the fresh BENCH_*.json set")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional drop (default 0.25)")
+    parser.add_argument("--thresholds", type=Path, default=None,
+                        help="JSON object of entry-key fnmatch patterns to "
+                             "per-entry thresholds (first match wins)")
     args = parser.parse_args()
+    threshold_map = (load_threshold_map(args.thresholds)
+                     if args.thresholds else [])
 
     if not args.old.is_dir():
         print(f"no previous bench records at {args.old}: nothing to "
@@ -105,19 +149,21 @@ def main() -> int:
             continue
         if old[key] <= 1e-9:  # modeled zero / placeholder: no baseline
             continue
+        limit = threshold_for(key, threshold_map, args.threshold)
         change = new[key] / old[key] - 1.0
         flag = ""
-        if change < -args.threshold:
-            flag = "  << REGRESSION"
-            regressions.append((key, old[key], new[key], change))
+        if change < -limit:
+            flag = f"  << REGRESSION (>{limit:.0%})"
+            regressions.append((key, old[key], new[key], change, limit))
         print(f"{key:<{width}}  {old[key]:>10.1f}  {new[key]:>10.1f}  "
               f"{change:+7.1%}{flag}")
 
     if regressions:
         print(f"\n{len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'} "
-              f"regressed by more than {args.threshold:.0%}:")
-        for key, old_v, new_v, change in regressions:
-            print(f"  {key}: {old_v:.1f} -> {new_v:.1f} MLUP/s ({change:+.1%})")
+              "regressed beyond their threshold:")
+        for key, old_v, new_v, change, limit in regressions:
+            print(f"  {key}: {old_v:.1f} -> {new_v:.1f} MLUP/s "
+                  f"({change:+.1%}, limit {limit:.0%})")
         return 1
     print("\nno throughput regression beyond the threshold")
     return 0

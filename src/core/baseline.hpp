@@ -60,7 +60,7 @@ class BaselineSolver {
     util::Timer timer;
     for (int s = 0; s < steps; ++s) {
       const int global = base_level + s + 1;  // level being produced
-      sweep(*grids[(global + 1) % 2], *grids[global % 2]);
+      sweep(*grids[(global + 1) % 2], *grids[global % 2], global);
     }
     stats.seconds = timer.elapsed();
     stats.levels = steps;
@@ -82,7 +82,7 @@ class BaselineSolver {
   [[nodiscard]] const BaselineConfig& config() const { return cfg_; }
 
  private:
-  void sweep(const Grid3& src, Grid3& dst) {
+  void sweep(const Grid3& src, Grid3& dst, int level) {
     // Interior extent and tile grid over (j, k); x is swept in bx chunks
     // inside each tile to keep the inner loop long.
     const int j0 = 1, j1 = ny_ - 1;
@@ -115,11 +115,11 @@ class BaselineSolver {
               if (nt) {
                 op_.row_nt(d.row(j, k), s.row(j, k), s.row(j - 1, k),
                            s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                           j, k, ia, ib);
+                           level, j, k, ia, ib);
               } else {
                 op_.row(d.row(j, k), s.row(j, k), s.row(j - 1, k),
                         s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                        j, k, ia, ib);
+                        level, j, k, ia, ib);
               }
             }
           }

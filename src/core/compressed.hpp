@@ -82,9 +82,13 @@ class CompressedSolver {
     for (int sweep = 0; sweep < sweeps; ++sweep) {
       const bool forward = (margin_ == shift_span_);
       const int m_start = margin_;
+      // Run-local level for the operator: levels_done_ counts the levels
+      // of previous run() calls since load() plus this run's sweeps.
+      const int sweep_base = levels_done_;
       engine_.run_sweep(forward,
                         [&](int /*thread*/, int level, const Box& w) {
-                          process_window(level, w, forward, m_start);
+                          process_window(level, sweep_base + level, w,
+                                         forward, m_start);
                         });
       margin_ = forward ? m_start - levels_per_sweep
                         : m_start + levels_per_sweep;
@@ -129,7 +133,8 @@ class CompressedSolver {
     return std::vector<LevelClip>(static_cast<std::size_t>(levels), c);
   }
 
-  void process_window(int level, const Box& w, bool forward, int m_start) {
+  void process_window(int level, int op_level, const Box& w, bool forward,
+                      int m_start) {
     // Margins of the destination (this level) and source (previous level).
     const int m_dst = forward ? m_start - level : m_start + level;
     const int m_src = forward ? m_dst + 1 : m_dst - 1;
@@ -177,9 +182,10 @@ class CompressedSolver {
           const double* km = src_row(j, k - 1);
           const double* kp = src_row(j, k + 1);
           if (forward) {
-            op_.row(dst, src, jm, jp, km, kp, j, k, sx0, sx1);
+            op_.row(dst, src, jm, jp, km, kp, op_level, j, k, sx0, sx1);
           } else {
-            op_.row_reverse(dst, src, jm, jp, km, kp, j, k, sx0, sx1);
+            op_.row_reverse(dst, src, jm, jp, km, kp, op_level, j, k, sx0,
+                            sx1);
           }
         }
         if (forward && w.hi[0] == nx_) dst[last_x] = src[last_x];

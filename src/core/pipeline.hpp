@@ -29,9 +29,10 @@ struct RunStats {
 };
 
 /// Applies one Jacobi level over window `w`: dst <- stencil(src).
-/// (Compatibility shim over the generic apply_box.)
+/// (Compatibility shim over the generic apply_box; Jacobi ignores the
+/// level argument.)
 inline void apply_jacobi_box(const Grid3& src, Grid3& dst, const Box& w) {
-  apply_box(JacobiOp{}, src, dst, w);
+  apply_box(JacobiOp{}, src, dst, w, 0);
 }
 
 /// Shared-memory pipelined solver on two grids, templated on the
@@ -81,7 +82,7 @@ class PipelinedSolver {
             const int global = sweep_base + level;
             const Grid3& src = *grids[(global + 1) % 2];
             Grid3& dst = *grids[global % 2];
-            apply_box(op_, src, dst, w);
+            apply_box(op_, src, dst, w, global);
           });
     }
     stats.seconds = timer.elapsed();

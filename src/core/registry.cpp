@@ -44,8 +44,8 @@ const std::vector<std::string>& registered_variants() {
 }
 
 const std::vector<std::string>& registered_operators() {
-  static const std::vector<std::string> kNames{"jacobi", "varcoef",
-                                               "box27"};
+  static const std::vector<std::string> kNames{"jacobi", "varcoef", "box27",
+                                               "redblack", "lbm"};
   return kNames;
 }
 
@@ -101,6 +101,10 @@ bool apply_operator(SolverConfig& cfg, std::string_view name) {
     cfg.op = Operator::kVarCoef;
   } else if (name == "box27") {
     cfg.op = Operator::kBox27;
+  } else if (name == "redblack") {
+    cfg.op = Operator::kRedBlack;
+  } else if (name == "lbm") {
+    cfg.op = Operator::kLbm;
   } else {
     return false;
   }
@@ -138,10 +142,16 @@ StencilSolver make_solver(std::string_view variant, std::string_view op,
     throw_unknown("variant", variant, selectable_variants());
   if (!apply_operator(cfg, op))
     throw_unknown("operator", op, registered_operators());
-  if (cfg.op == Operator::kVarCoef) {
+  const bool needs_aux =
+      cfg.op == Operator::kVarCoef ||
+      (cfg.op == Operator::kLbm && cfg.lbm_geometry_from_aux);
+  if (needs_aux) {
     if (kappa == nullptr)
       throw std::invalid_argument(
-          "make_solver: operator 'varcoef' needs a kappa field");
+          cfg.op == Operator::kVarCoef
+              ? "make_solver: operator 'varcoef' needs a kappa field"
+              : "make_solver: operator 'lbm' with lbm_geometry_from_aux "
+                "needs the geometry-code grid");
     return StencilSolver(cfg, initial, *kappa);
   }
   return StencilSolver(cfg, initial);

@@ -8,7 +8,7 @@
 //
 //   reference | baseline | pipelined | compressed | wavefront
 //     x
-//   jacobi | varcoef | box27
+//   jacobi | varcoef | box27 | redblack | lbm
 //
 // The registry is the single source of truth for the names: the
 // examples' --variant/--operator flags, the autotuner's validation
@@ -60,10 +60,12 @@ bool apply_operator(SolverConfig& cfg, std::string_view name);
 void configure_from_args(SolverConfig& cfg, const util::Args& args);
 
 /// Constructs a solver from registry names.  `kappa` supplies the
-/// material field for operators that need one (required for "varcoef",
-/// ignored by "jacobi"/"box27").  Meta-variant names resolve through
-/// their registered factory.  Throws std::invalid_argument on unknown
-/// names or a missing kappa.
+/// auxiliary per-cell field for operators that take one: the material
+/// field of "varcoef" (required), the geometry codes of "lbm" when
+/// cfg.lbm_geometry_from_aux is set (required then; with the default
+/// cavity geometry "lbm" ignores it, like "jacobi"/"box27"/"redblack"
+/// do).  Meta-variant names resolve through their registered factory.
+/// Throws std::invalid_argument on unknown names or a missing kappa.
 [[nodiscard]] StencilSolver make_solver(std::string_view variant,
                                         std::string_view op,
                                         SolverConfig cfg,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/stencil_op.hpp"
+#include "lbm/stencil_op.hpp"
 #include "topo/placement.hpp"
 #include "util/timer.hpp"
 
@@ -18,25 +19,52 @@ void copy_grid(const Grid3& src, Grid3& dst) {
 }
 
 /// Per-operator construction state.  The generic case is stateless; the
-/// variable-coefficient operator owns its face-coefficient fields here so
-/// the row kernels can hold a stable pointer to them.
+/// variable-coefficient operator owns its face-coefficient fields here,
+/// the lbm operator its distribution lattices and geometry, so the row
+/// kernels can hold a stable pointer to them.  set_level_base() feeds
+/// time-dependent operators the absolute level of the phase about to
+/// run (see LevelOrigin); it is a no-op for time-invariant operators.
 template <class Op>
 struct OpState {
-  [[nodiscard]] Op make() const { return Op{}; }
+  [[nodiscard]] Op make() { return Op{}; }
+  void set_level_base(int /*base*/) {}
+  [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
 };
 
 template <>
 struct OpState<VarCoefOp> {
   DiffusionCoefficients coeffs;
-  [[nodiscard]] VarCoefOp make() const { return VarCoefOp{&coeffs}; }
+  [[nodiscard]] VarCoefOp make() { return VarCoefOp{&coeffs}; }
+  void set_level_base(int /*base*/) {}
+  [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
+};
+
+template <>
+struct OpState<RedBlackOp> {
+  LevelOrigin origin;
+  [[nodiscard]] RedBlackOp make() { return RedBlackOp{&origin}; }
+  void set_level_base(int base) { origin.base = base; }
+  [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
+};
+
+template <>
+struct OpState<lbm::LbmOp> {
+  lbm::LbmState state;
+  [[nodiscard]] lbm::LbmOp make() { return lbm::LbmOp{&state}; }
+  void set_level_base(int base) { state.origin.base = base; }
+  [[nodiscard]] const lbm::LbmState* lbm() const { return &state; }
 };
 
 }  // namespace
 
 struct StencilSolver::Impl {
   virtual ~Impl() = default;
-  virtual RunStats advance(int steps) = 0;
+  /// Advances by `steps` levels; `base` is the absolute level count
+  /// already completed (the facade's levels_done_ — the single counter;
+  /// it feeds the LevelOrigin of time-dependent operators).
+  virtual RunStats advance(int steps, int base) = 0;
   [[nodiscard]] virtual const Grid3& solution() const = 0;
+  [[nodiscard]] virtual const lbm::LbmState* lbm_state() const = 0;
 };
 
 /// The whole advance state machine, instantiated per operator.  Only the
@@ -113,16 +141,17 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
     }
   }
 
-  RunStats advance(int steps) override {
+  RunStats advance(int steps, int base) override {
     RunStats total;
     if (steps == 0) return total;
 
     switch (cfg_.variant) {
       case Variant::kReference: {
+        state_.set_level_base(base);
         const Op op = state_.make();
         util::Timer timer;
         for (int s = 0; s < steps; ++s) {
-          reference_sweep_op(op, a_, b_);
+          reference_sweep_op(op, a_, b_, s + 1);
           std::swap(a_, b_);
         }
         total.seconds = timer.elapsed();
@@ -132,7 +161,7 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
         break;
       }
       case Variant::kBaseline:
-        total = advance_baseline_steps(steps);
+        total = advance_baseline_steps(steps, base);
         break;
       case Variant::kPipelined:
       case Variant::kWavefront: {
@@ -141,9 +170,11 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
                               : cfg_.wavefront.threads;
         const int sweeps = steps / depth;
         const int remainder = steps % depth;
-        if (sweeps > 0) accumulate(total, advance_blocked_sweeps(sweeps));
+        if (sweeps > 0)
+          accumulate(total, advance_blocked_sweeps(sweeps, base));
         if (remainder > 0)
-          accumulate(total, advance_baseline_steps(remainder));
+          accumulate(total, advance_baseline_steps(
+                                remainder, base + sweeps * depth));
         break;
       }
     }
@@ -154,6 +185,10 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
   /// the grids back when it ends on an odd parity.
   [[nodiscard]] const Grid3& solution() const override { return a_; }
 
+  [[nodiscard]] const lbm::LbmState* lbm_state() const override {
+    return state_.lbm();
+  }
+
  private:
   static void accumulate(RunStats& total, const RunStats& st) {
     total.seconds += st.seconds;
@@ -161,14 +196,21 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
     total.levels += st.levels;
   }
 
-  RunStats advance_baseline_steps(int steps) {
+  /// `base` is the absolute level count completed before this phase:
+  /// the schemes run with run-local levels (the facade re-normalizes
+  /// the carrier parity so the current level always sits in a_), and
+  /// the LevelOrigin turns them back into absolute levels for
+  /// time-dependent operators.
+  RunStats advance_baseline_steps(int steps, int base) {
+    state_.set_level_base(base);
     RunStats st = baseline_->run(a_, b_, steps, 0);
     if (steps % 2 != 0) std::swap(a_, b_);
     return st;
   }
 
   /// Whole team sweeps of the configured temporally blocked scheme.
-  RunStats advance_blocked_sweeps(int sweeps) {
+  RunStats advance_blocked_sweeps(int sweeps, int base) {
+    state_.set_level_base(base);
     if (compressed_) {
       compressed_->load(a_);
       RunStats st = compressed_->run(sweeps);
@@ -194,38 +236,73 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
   std::unique_ptr<WavefrontSolver<Op>> wavefront_;
 };
 
+namespace {
+
+/// The default lbm geometry when no auxiliary field is supplied: the
+/// lid-driven cavity of the grid's shape.
+lbm::LbmState default_lbm_state(const SolverConfig& cfg,
+                                const Grid3& initial) {
+  return lbm::LbmState(
+      lbm::Geometry::cavity(initial.nx(), initial.ny(), initial.nz()),
+      cfg.lbm, initial);
+}
+
+}  // namespace
+
 StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial)
     : cfg_(cfg) {
-  if (cfg.op == Operator::kVarCoef)
-    throw std::invalid_argument(
-        "StencilSolver: the varcoef operator needs a kappa field — use the "
-        "(config, initial, kappa) constructor");
-  if (cfg.op == Operator::kBox27) {
-    impl_ = std::make_unique<OpImpl<Box27Op>>(cfg, initial,
-                                              OpState<Box27Op>{});
-    return;
+  switch (cfg.op) {
+    case Operator::kJacobi:
+      impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
+                                                 OpState<JacobiOp>{});
+      return;
+    case Operator::kBox27:
+      impl_ = std::make_unique<OpImpl<Box27Op>>(cfg, initial,
+                                                OpState<Box27Op>{});
+      return;
+    case Operator::kRedBlack:
+      impl_ = std::make_unique<OpImpl<RedBlackOp>>(cfg, initial,
+                                                   OpState<RedBlackOp>{});
+      return;
+    case Operator::kLbm:
+      if (cfg.lbm_geometry_from_aux)
+        throw std::invalid_argument(
+            "StencilSolver: lbm_geometry_from_aux needs the geometry-code "
+            "grid — use the (config, initial, kappa) constructor");
+      impl_ = std::make_unique<OpImpl<lbm::LbmOp>>(
+          cfg, initial, OpState<lbm::LbmOp>{default_lbm_state(cfg, initial)});
+      return;
+    case Operator::kVarCoef:
+      throw std::invalid_argument(
+          "StencilSolver: the varcoef operator needs a kappa field — use "
+          "the (config, initial, kappa) constructor");
   }
-  impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
-                                             OpState<JacobiOp>{});
+  throw std::invalid_argument("StencilSolver: unknown operator");
 }
 
 StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
                              const Grid3& kappa)
     : cfg_(cfg) {
-  if (cfg.op == Operator::kJacobi) {
-    impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
-                                               OpState<JacobiOp>{});
-    return;
-  }
-  if (cfg.op == Operator::kBox27) {
-    impl_ = std::make_unique<OpImpl<Box27Op>>(cfg, initial,
-                                              OpState<Box27Op>{});
+  if (cfg.op == Operator::kJacobi || cfg.op == Operator::kBox27 ||
+      cfg.op == Operator::kRedBlack ||
+      (cfg.op == Operator::kLbm && !cfg.lbm_geometry_from_aux)) {
+    // Stateless operators (and lbm with its default cavity geometry)
+    // ignore the auxiliary field.
+    *this = StencilSolver(cfg, initial);
     return;
   }
   if (kappa.nx() != initial.nx() || kappa.ny() != initial.ny() ||
       kappa.nz() != initial.nz())
     throw std::invalid_argument(
         "StencilSolver: kappa shape must match the initial grid");
+  if (cfg.op == Operator::kLbm) {
+    impl_ = std::make_unique<OpImpl<lbm::LbmOp>>(
+        cfg, initial,
+        OpState<lbm::LbmOp>{
+            lbm::LbmState(lbm::geometry_from_codes(kappa), cfg.lbm,
+                          initial)});
+    return;
+  }
   impl_ = std::make_unique<OpImpl<VarCoefOp>>(
       cfg, initial, OpState<VarCoefOp>{DiffusionCoefficients(kappa)});
 }
@@ -236,11 +313,15 @@ StencilSolver& StencilSolver::operator=(StencilSolver&&) noexcept = default;
 
 RunStats StencilSolver::advance(int steps) {
   if (steps < 0) throw std::invalid_argument("advance: negative steps");
-  const RunStats st = impl_->advance(steps);
+  const RunStats st = impl_->advance(steps, levels_done_);
   levels_done_ += steps;
   return st;
 }
 
 const Grid3& StencilSolver::solution() const { return impl_->solution(); }
+
+const lbm::LbmState* StencilSolver::lbm_state() const {
+  return impl_->lbm_state();
+}
 
 }  // namespace tb::core

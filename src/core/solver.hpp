@@ -23,6 +23,11 @@
 #include "core/compressed.hpp"
 #include "core/pipeline.hpp"
 #include "core/wavefront.hpp"
+#include "lbm/kernel.hpp"  // LbmConfig (physics parameters of --operator lbm)
+
+namespace tb::lbm {
+class LbmState;  // side-channel state of the lbm operator
+}
 
 namespace tb::core {
 
@@ -36,9 +41,11 @@ enum class Variant {
 
 /// Which stencil operator each cell update applies.
 enum class Operator {
-  kJacobi,   ///< constant-coefficient 7-point Jacobi (Eq. (1))
-  kVarCoef,  ///< variable-coefficient (heterogeneous) diffusion
-  kBox27,    ///< 27-point trilinear box smoother (full 3^3 neighborhood)
+  kJacobi,    ///< constant-coefficient 7-point Jacobi (Eq. (1))
+  kVarCoef,   ///< variable-coefficient (heterogeneous) diffusion
+  kBox27,     ///< 27-point trilinear box smoother (full 3^3 neighborhood)
+  kRedBlack,  ///< two-color Gauss–Seidel-style relaxation
+  kLbm,       ///< D3Q19 lattice-Boltzmann stream-collide (lid-driven flow)
 };
 
 [[nodiscard]] constexpr const char* to_string(Variant v) {
@@ -56,6 +63,8 @@ enum class Operator {
     case Operator::kJacobi: return "jacobi";
     case Operator::kVarCoef: return "varcoef";
     case Operator::kBox27: return "box27";
+    case Operator::kRedBlack: return "redblack";
+    case Operator::kLbm: return "lbm";
   }
   return "?";
 }
@@ -69,6 +78,18 @@ struct SolverConfig {
   BaselineConfig baseline{};
   WavefrontConfig wavefront{};
 
+  /// Physics parameters of Operator::kLbm (ignored by all others).
+  lbm::LbmConfig lbm{};
+
+  /// Geometry of Operator::kLbm.  Default: the lid-driven cavity (closed
+  /// box, moving top lid) derived from the grid shape — no auxiliary
+  /// field needed, so `--operator lbm` works wherever jacobi does.  When
+  /// set, the kappa/auxiliary grid of the (config, initial, kappa)
+  /// constructor is instead decoded as per-cell geometry codes
+  /// (0 = fluid, 1 = wall, 2 = lid; see lbm::geometry_from_codes), the
+  /// lbm analogue of varcoef's material field.
+  bool lbm_geometry_from_aux = false;
+
   /// Requested *meta* variant (e.g. "auto", resolved to a concrete
   /// variant by a factory registered through core/registry.hpp).  Empty
   /// for concrete variants; when set, `variant`/`pipeline` hold the
@@ -80,14 +101,16 @@ struct SolverConfig {
 /// Owns the working grids and advances them by arbitrary step counts.
 class StencilSolver {
  public:
-  /// `initial` supplies level-0 data including Dirichlet boundary faces.
-  /// Requires cfg.op == Operator::kJacobi (the variable-coefficient
-  /// operator needs a material field).
+  /// `initial` supplies level-0 data including Dirichlet boundary faces
+  /// (for Operator::kLbm: the initial density field).  Not valid for
+  /// operators that need an auxiliary field (varcoef's material field,
+  /// lbm with lbm_geometry_from_aux set).
   StencilSolver(const SolverConfig& cfg, const Grid3& initial);
 
-  /// Variable-coefficient construction: `kappa` is the cell-centered
-  /// material field (same shape as `initial`).  Valid for any operator;
-  /// kappa is ignored by Operator::kJacobi.
+  /// Construction with an auxiliary per-cell field `kappa` (same shape
+  /// as `initial`): the material field for Operator::kVarCoef, the
+  /// geometry codes for Operator::kLbm when cfg.lbm_geometry_from_aux is
+  /// set.  Valid for any operator; the stateless ones ignore kappa.
   StencilSolver(const SolverConfig& cfg, const Grid3& initial,
                 const Grid3& kappa);
 
@@ -110,6 +133,12 @@ class StencilSolver {
 
   [[nodiscard]] int levels_done() const { return levels_done_; }
   [[nodiscard]] const SolverConfig& config() const { return cfg_; }
+
+  /// Side-channel state of the lbm operator (distributions + geometry),
+  /// for flow diagnostics beyond the density carrier:
+  /// `lbm_state()->current(levels_done())` is the lattice holding the
+  /// present time level.  nullptr for every other operator.
+  [[nodiscard]] const lbm::LbmState* lbm_state() const;
 
  private:
   struct Impl;

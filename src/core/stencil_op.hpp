@@ -14,13 +14,18 @@
 //
 //   // One x-row of updates at logical coordinates (j, k): produce
 //   // dst[i] for i in [i0, i1) from the five source rows of the previous
-//   // level (center, j-1, j+1, k-1, k+1).  `j`/`k` are LOGICAL grid
+//   // time level (center, j-1, j+1, k-1, k+1).  `j`/`k` are LOGICAL grid
 //   // coordinates — operators with auxiliary per-cell fields (see
 //   // VarCoefOp) index those fields with them; the row pointers may be
-//   // margin-shifted views of a compressed-grid allocation.
+//   // margin-shifted views of a compressed-grid allocation.  `level` is
+//   // the 1-based index of the time level being produced, counted from
+//   // the start of the current scheme run: time-dependent operators
+//   // (RedBlackOp's color phase, lbm::LbmOp's distribution parity) add
+//   // an externally owned LevelOrigin to recover the absolute time
+//   // level; time-invariant operators ignore it.
 //   void row(double* dst, const double* c, const double* jm,
 //            const double* jp, const double* km, const double* kp,
-//            int j, int k, int i0, int i1) const;
+//            int level, int j, int k, int i0, int i1) const;
 //
 //   // Same update with descending i — required by the compressed-grid
 //   // scheme whose even sweeps shift by (+1,+1,+1) and are only
@@ -33,8 +38,8 @@
 //   void row_nt(...same signature...) const;
 //
 // Every row method must evaluate the *identical floating-point
-// expression* per cell in every variant, so that all schemes stay
-// bit-identical to the naive reference for the same operator.
+// expression* per (cell, level) in every variant, so that all schemes
+// stay bit-identical to the naive reference for the same operator.
 #pragma once
 
 #include <array>
@@ -44,6 +49,18 @@
 #include "core/kernels.hpp"
 
 namespace tb::core {
+
+/// Shared offset turning the scheme-local `level` argument into an
+/// absolute time level: absolute = origin->base + level.  The
+/// StencilSolver facade bumps `base` between phases (team sweeps vs.
+/// remainder sweeps, consecutive advance() calls) on the operator state
+/// it owns; drivers that already pass absolute levels into the schemes
+/// (the distributed solver's base_level) leave the origin at nullptr/0.
+/// Never mutated while a sweep is in flight — operators may read it
+/// without synchronization.
+struct LevelOrigin {
+  int base = 0;
+};
 
 /// Constant-coefficient Jacobi (Eq. (1) of the paper): the arithmetic
 /// mean of the six face neighbours.  Stateless; delegates to the hand
@@ -55,7 +72,7 @@ struct JacobiOp {
   void row(double* __restrict__ dst, const double* __restrict__ c,
            const double* __restrict__ jm, const double* __restrict__ jp,
            const double* __restrict__ km, const double* __restrict__ kp,
-           int /*j*/, int /*k*/, int i0, int i1) const {
+           int /*level*/, int /*j*/, int /*k*/, int i0, int i1) const {
     jacobi_row(dst, c, jm, jp, km, kp, i0, i1);
   }
 
@@ -63,15 +80,15 @@ struct JacobiOp {
                    const double* __restrict__ jm,
                    const double* __restrict__ jp,
                    const double* __restrict__ km,
-                   const double* __restrict__ kp, int /*j*/, int /*k*/,
-                   int i0, int i1) const {
+                   const double* __restrict__ kp, int /*level*/, int /*j*/,
+                   int /*k*/, int i0, int i1) const {
     jacobi_row_reverse(dst, c, jm, jp, km, kp, i0, i1);
   }
 
   void row_nt(double* __restrict__ dst, const double* __restrict__ c,
               const double* __restrict__ jm, const double* __restrict__ jp,
               const double* __restrict__ km, const double* __restrict__ kp,
-              int /*j*/, int /*k*/, int i0, int i1) const {
+              int /*level*/, int /*j*/, int /*k*/, int i0, int i1) const {
     jacobi_row_nt(dst, c, jm, jp, km, kp, i0, i1);
   }
 };
@@ -136,7 +153,7 @@ struct VarCoefOp {
   void row(double* __restrict__ dst, const double* __restrict__ c,
            const double* __restrict__ jm, const double* __restrict__ jp,
            const double* __restrict__ km, const double* __restrict__ kp,
-           int j, int k, int i0, int i1) const {
+           int /*level*/, int j, int k, int i0, int i1) const {
     const double* cxm = coeffs->face(0).row(j, k);
     const double* cxp = coeffs->face(1).row(j, k);
     const double* cym = coeffs->face(2).row(j, k);
@@ -158,8 +175,8 @@ struct VarCoefOp {
                    const double* __restrict__ jm,
                    const double* __restrict__ jp,
                    const double* __restrict__ km,
-                   const double* __restrict__ kp, int j, int k, int i0,
-                   int i1) const {
+                   const double* __restrict__ kp, int /*level*/, int j,
+                   int k, int i0, int i1) const {
     const double* cxm = coeffs->face(0).row(j, k);
     const double* cxp = coeffs->face(1).row(j, k);
     const double* cym = coeffs->face(2).row(j, k);
@@ -178,9 +195,9 @@ struct VarCoefOp {
   }
 
   void row_nt(double* dst, const double* c, const double* jm,
-              const double* jp, const double* km, const double* kp, int j,
-              int k, int i0, int i1) const {
-    row(dst, c, jm, jp, km, kp, j, k, i0, i1);  // no streaming path
+              const double* jp, const double* km, const double* kp,
+              int level, int j, int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
   }
 };
 
@@ -227,8 +244,8 @@ struct Box27Op {
   }
 
   void row(double* dst, const double* c, const double* jm, const double* jp,
-           const double* km, const double* kp, int /*j*/, int /*k*/, int i0,
-           int i1) const {
+           const double* km, const double* kp, int /*level*/, int /*j*/,
+           int /*k*/, int i0, int i1) const {
     const std::ptrdiff_t up = jp - c;  // +1 row in j, same allocation
     const std::ptrdiff_t dn = jm - c;  // -1 row in j
     const double* kmjm = km + dn;
@@ -241,7 +258,8 @@ struct Box27Op {
 
   void row_reverse(double* dst, const double* c, const double* jm,
                    const double* jp, const double* km, const double* kp,
-                   int /*j*/, int /*k*/, int i0, int i1) const {
+                   int /*level*/, int /*j*/, int /*k*/, int i0,
+                   int i1) const {
     const std::ptrdiff_t up = jp - c;
     const std::ptrdiff_t dn = jm - c;
     const double* kmjm = km + dn;
@@ -253,43 +271,112 @@ struct Box27Op {
   }
 
   void row_nt(double* dst, const double* c, const double* jm,
-              const double* jp, const double* km, const double* kp, int j,
-              int k, int i0, int i1) const {
-    row(dst, c, jm, jp, km, kp, j, k, i0, i1);  // no streaming path
+              const double* jp, const double* km, const double* kp,
+              int level, int j, int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
   }
 };
 
-/// Applies one operator level over window `w`: dst <- op(src).
+/// Two-color (red–black) Gauss–Seidel-style relaxation of the 7-point
+/// Laplace stencil, expressed in the two-grid time-level contract: time
+/// level L updates only the cells whose color (i+j+k parity) matches the
+/// level parity — the six-neighbour average, reading the opposite color
+/// at level L-1 — and copies the other color through unchanged.  Two
+/// consecutive levels therefore perform one full red–black Gauss–Seidel
+/// iteration: the second color sees the first color's fresh values, the
+/// classic GS data flow, while every per-level update still only reads
+/// level L-1 — which is what lets all temporal-blocking schemes run it
+/// unmodified.
+///
+/// The color phase depends on the ABSOLUTE time level; schemes pass
+/// run-local levels, so the facade owns a LevelOrigin and bumps its base
+/// between phases.  A nullptr origin means the caller already passes
+/// absolute levels (the distributed solver).
+struct RedBlackOp {
+  static constexpr int kHalo = 1;
+  static constexpr bool kHasNontemporal = false;
+
+  const LevelOrigin* origin = nullptr;
+
+  /// Parity of the coordinate frame: a driver whose (i, j, k) are not
+  /// the global grid coordinates (the distributed solver indexes the
+  /// rank-local window) adds the parity of its window origin here so
+  /// every rank colors cells by their GLOBAL coordinate sum.
+  int parity = 0;
+
+  [[nodiscard]] int absolute(int level) const {
+    return (origin != nullptr ? origin->base : 0) + level;
+  }
+
+  /// One cell: update when the color matches the level parity, else copy.
+  /// Single source of truth for the floating-point expression.
+  static double cell(const double* c, const double* jm, const double* jp,
+                     const double* km, const double* kp, int color, int i,
+                     int jk_sum) {
+    if (((i + jk_sum) & 1) != color) return c[i];
+    return (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]) *
+           (1.0 / 6.0);
+  }
+
+  void row(double* dst, const double* c, const double* jm, const double* jp,
+           const double* km, const double* kp, int level, int j, int k,
+           int i0, int i1) const {
+    const int color = absolute(level) & 1;
+    const int jk = j + k + parity;
+    for (int i = i0; i < i1; ++i)
+      dst[i] = cell(c, jm, jp, km, kp, color, i, jk);
+  }
+
+  void row_reverse(double* dst, const double* c, const double* jm,
+                   const double* jp, const double* km, const double* kp,
+                   int level, int j, int k, int i0, int i1) const {
+    const int color = absolute(level) & 1;
+    const int jk = j + k + parity;
+    for (int i = i1 - 1; i >= i0; --i)
+      dst[i] = cell(c, jm, jp, km, kp, color, i, jk);
+  }
+
+  void row_nt(double* dst, const double* c, const double* jm,
+              const double* jp, const double* km, const double* kp,
+              int level, int j, int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
+  }
+};
+
+/// Applies one operator level over window `w`: dst <- op(src) producing
+/// time level `level` (run-local, see the concept comment).
 template <class Op>
 inline void apply_box(const Op& op, const Grid3& src, Grid3& dst,
-                      const Box& w) {
+                      const Box& w, int level) {
   for (int k = w.lo[2]; k < w.hi[2]; ++k)
     for (int j = w.lo[1]; j < w.hi[1]; ++j)
       op.row(dst.row(j, k), src.row(j, k), src.row(j - 1, k),
-             src.row(j + 1, k), src.row(j, k - 1), src.row(j, k + 1), j, k,
-             w.lo[0], w.hi[0]);
+             src.row(j + 1, k), src.row(j, k - 1), src.row(j, k + 1), level,
+             j, k, w.lo[0], w.hi[0]);
 }
 
-/// One naive sweep over the full interior [1, n-1)^3 — the correctness
-/// oracle, generic over the operator.  Boundary layers are untouched.
+/// One naive sweep over the full interior [1, n-1)^3 producing time level
+/// `level` — the correctness oracle, generic over the operator.  Boundary
+/// layers are untouched.
 template <class Op>
-inline void reference_sweep_op(const Op& op, const Grid3& src, Grid3& dst) {
+inline void reference_sweep_op(const Op& op, const Grid3& src, Grid3& dst,
+                               int level = 1) {
   Box all;
   all.lo = {1, 1, 1};
   all.hi = {src.nx() - 1, src.ny() - 1, src.nz() - 1};
-  apply_box(op, src, dst, all);
+  apply_box(op, src, dst, all, level);
 }
 
-/// Runs `steps` naive sweeps alternating between `a` and `b`; `a` holds
-/// the initial data and both grids carry the Dirichlet boundary.  Returns
-/// the grid holding the final level.
+/// Runs `steps` naive sweeps alternating between `a` and `b` (levels
+/// 1..steps); `a` holds the initial data and both grids carry the
+/// Dirichlet boundary.  Returns the grid holding the final level.
 template <class Op>
 inline Grid3& reference_solve_op(const Op& op, Grid3& a, Grid3& b,
                                  int steps) {
   Grid3* src = &a;
   Grid3* dst = &b;
   for (int s = 0; s < steps; ++s) {
-    reference_sweep_op(op, *src, *dst);
+    reference_sweep_op(op, *src, *dst, s + 1);
     std::swap(src, dst);
   }
   return *src;

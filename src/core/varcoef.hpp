@@ -24,7 +24,7 @@ namespace tb::core {
 /// Applies one heterogeneous-diffusion level over window `w`.
 inline void apply_varcoef_box(const DiffusionCoefficients& c,
                               const Grid3& src, Grid3& dst, const Box& w) {
-  apply_box(VarCoefOp{&c}, src, dst, w);
+  apply_box(VarCoefOp{&c}, src, dst, w, 0);
 }
 
 /// Pipelined temporally blocked solver for the heterogeneous stencil:
@@ -60,7 +60,7 @@ class PipelinedVarCoef {
     for (int s = 0; s < steps; ++s) {
       const int global = base_level + s + 1;
       reference_sweep_op(VarCoefOp{&coeffs_}, *grids[(global + 1) % 2],
-                         *grids[global % 2]);
+                         *grids[global % 2], global);
     }
   }
 

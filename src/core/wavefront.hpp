@@ -78,7 +78,7 @@ class WavefrontSolver {
               for (int j = ja; j < jb; ++j)
                 op_.row(dst.row(j, kk), src.row(j, kk), src.row(j - 1, kk),
                         src.row(j + 1, kk), src.row(j, kk - 1),
-                        src.row(j, kk + 1), j, kk, 1, nx_ - 1);
+                        src.row(j, kk + 1), level, j, kk, 1, nx_ - 1);
             }
           }
           barrier.arrive_and_wait();

@@ -149,6 +149,18 @@ class DistributedStencil {
           }
       coeffs_.emplace(local_kappa);
       solver_.emplace(cfg.pipeline, level_clips(), Op{&*coeffs_});
+    } else if constexpr (std::is_same_v<Op, core::RedBlackOp>) {
+      // The rank-local solver indexes the local window, but the
+      // two-color update must color cells by their GLOBAL coordinate
+      // sum; hand the op the parity of this rank's window origin.
+      // (base levels are already absolute — base_level_ — so the
+      // LevelOrigin stays null.)
+      core::RedBlackOp op;
+      op.parity = ((own_lo_[0] + own_lo_[1] + own_lo_[2] - 3 * halo_) %
+                       2 +
+                   2) %
+                  2;
+      solver_.emplace(cfg.pipeline, level_clips(), op);
     } else {
       solver_.emplace(cfg.pipeline, level_clips());
     }

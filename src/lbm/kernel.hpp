@@ -10,7 +10,9 @@
 // Every update evaluates the identical floating-point expression for a
 // given cell and level, so (as with the Jacobi solvers) any correctly
 // scheduled variant is bit-identical to the naive reference — the property
-// the equivalence tests assert.
+// the equivalence tests assert.  stream_collide_cell() is the single
+// source of that expression: the naive box sweep below and the LbmOp row
+// kernels (lbm/stencil_op.hpp) both call it.
 #pragma once
 
 #include "core/blocks.hpp"
@@ -30,55 +32,66 @@ struct LbmConfig {
   }
 };
 
+/// One stream-collide update of the *fluid* cell (i, j, k): writes the 19
+/// post-collision distributions into `dst` and returns the cell's density
+/// (BGK conserves mass locally, so pre- and post-collision density
+/// coincide).  The caller guarantees geo.at(i, j, k) == Cell::kFluid.
+inline double stream_collide_cell(const Geometry& geo, const LbmConfig& cfg,
+                                  const Lattice& src, Lattice& dst, int i,
+                                  int j, int k) {
+  std::array<double, kQ> fin;
+
+  // 1. Pull with bounce-back.
+  for (int q = 0; q < kQ; ++q) {
+    const auto& e = kVelocities[static_cast<std::size_t>(q)];
+    const int si = i - e[0], sj = j - e[1], sk = k - e[2];
+    const Cell neighbor = geo.at(si, sj, sk);
+    if (neighbor == Cell::kFluid) {
+      fin[static_cast<std::size_t>(q)] = src.f(q).at(si, sj, sk);
+    } else {
+      double val = src.f(opposite(q)).at(i, j, k);
+      if (neighbor == Cell::kLid) {
+        const auto& u = cfg.lid_velocity;
+        val += 6.0 * kWeights[static_cast<std::size_t>(q)] * cfg.rho0 *
+               (e[0] * u[0] + e[1] * u[1] + e[2] * u[2]);
+      }
+      fin[static_cast<std::size_t>(q)] = val;
+    }
+  }
+
+  // 2. Moments.
+  double rho = 0.0, ux = 0.0, uy = 0.0, uz = 0.0;
+  for (int q = 0; q < kQ; ++q) {
+    const double fq = fin[static_cast<std::size_t>(q)];
+    const auto& e = kVelocities[static_cast<std::size_t>(q)];
+    rho += fq;
+    ux += fq * e[0];
+    uy += fq * e[1];
+    uz += fq * e[2];
+  }
+  ux /= rho;
+  uy /= rho;
+  uz /= rho;
+
+  // 3. BGK collision.
+  for (int q = 0; q < kQ; ++q) {
+    const double feq = equilibrium(q, rho, ux, uy, uz);
+    const double fq = fin[static_cast<std::size_t>(q)];
+    dst.f(q).at(i, j, k) = fq - cfg.omega * (fq - feq);
+  }
+  return rho;
+}
+
 /// Applies one stream-collide level to every *fluid* cell in window `w`:
 /// dst <- update(src).  Solid cells are never written.
 inline void stream_collide_box(const Geometry& geo, const LbmConfig& cfg,
                                const Lattice& src, Lattice& dst,
                                const core::Box& w) {
-  std::array<double, kQ> fin;
   for (int k = w.lo[2]; k < w.hi[2]; ++k)
     for (int j = w.lo[1]; j < w.hi[1]; ++j)
       for (int i = w.lo[0]; i < w.hi[0]; ++i) {
         if (geo.at(i, j, k) != Cell::kFluid) continue;
-
-        // 1. Pull with bounce-back.
-        for (int q = 0; q < kQ; ++q) {
-          const auto& e = kVelocities[static_cast<std::size_t>(q)];
-          const int si = i - e[0], sj = j - e[1], sk = k - e[2];
-          const Cell neighbor = geo.at(si, sj, sk);
-          if (neighbor == Cell::kFluid) {
-            fin[static_cast<std::size_t>(q)] = src.f(q).at(si, sj, sk);
-          } else {
-            double val = src.f(opposite(q)).at(i, j, k);
-            if (neighbor == Cell::kLid) {
-              const auto& u = cfg.lid_velocity;
-              val += 6.0 * kWeights[static_cast<std::size_t>(q)] * cfg.rho0 *
-                     (e[0] * u[0] + e[1] * u[1] + e[2] * u[2]);
-            }
-            fin[static_cast<std::size_t>(q)] = val;
-          }
-        }
-
-        // 2. Moments.
-        double rho = 0.0, ux = 0.0, uy = 0.0, uz = 0.0;
-        for (int q = 0; q < kQ; ++q) {
-          const double fq = fin[static_cast<std::size_t>(q)];
-          const auto& e = kVelocities[static_cast<std::size_t>(q)];
-          rho += fq;
-          ux += fq * e[0];
-          uy += fq * e[1];
-          uz += fq * e[2];
-        }
-        ux /= rho;
-        uy /= rho;
-        uz /= rho;
-
-        // 3. BGK collision.
-        for (int q = 0; q < kQ; ++q) {
-          const double feq = equilibrium(q, rho, ux, uy, uz);
-          const double fq = fin[static_cast<std::size_t>(q)];
-          dst.f(q).at(i, j, k) = fq - cfg.omega * (fq - feq);
-        }
+        stream_collide_cell(geo, cfg, src, dst, i, j, k);
       }
 }
 

@@ -188,4 +188,16 @@ class Lattice {
   std::vector<core::Grid3> f_;
 };
 
+/// Bytes moved per lattice-site update for the two-lattice D3Q19 scheme
+/// with write-allocate (the paper's LBM motivation: code balance is an
+/// order of magnitude worse than Jacobi, so temporal blocking pays more).
+[[nodiscard]] constexpr double bytes_per_update_two_lattice() {
+  return kQ * (8.0 + 16.0);  // 19 loads + 19 stores incl. RFO
+}
+
+/// With non-temporal stores the RFO is avoided.
+[[nodiscard]] constexpr double bytes_per_update_nt() {
+  return kQ * 16.0;
+}
+
 }  // namespace tb::lbm

@@ -1,0 +1,208 @@
+// D3Q19 lattice-Boltzmann as a first-class StencilOp.
+//
+// The paper's point is that one temporal-blocking machinery serves both
+// the Jacobi prototype and the announced LBM flow solver.  This header
+// delivers that literally: stream-collide is an operator on the generic
+// scheme templates (BaselineSolver<LbmOp>, PipelinedSolver<LbmOp>,
+// CompressedSolver<LbmOp>, WavefrontSolver<LbmOp>) instead of its own
+// engine client.
+//
+// Multi-component state.  The schemes move a scalar *carrier* grid pair
+// through their schedules; the 19 particle distributions and the
+// geometry flags live in an LbmState side channel the operator indexes
+// with the LOGICAL (i, j, k) — the same mechanism VarCoefOp uses for its
+// face-coefficient fields, extended from read-only coefficients to
+// read-write state.  The side-channel lattices are a plain two-lattice
+// ping-pong indexed by the ABSOLUTE time-level parity, so they are
+// oblivious to how the carrier is stored: the compressed scheme's
+// drifting window shifts only the carrier, never the distributions.
+//
+// Why any scheme schedule is correct for the side channel: every scheme
+// in this library maintains the two-grid invariant that a cell is
+// advanced to level L only when all 3^3 neighbours hold level L-1 and no
+// neighbour has passed L (adjacent levels differ by at most one) — this
+// is exactly what makes them bit-identical for Jacobi/Box27, and it is
+// exactly the safety condition of the lattice ping-pong: writing a
+// cell's level-L distributions overwrites its level-(L-2) values, whose
+// last readers were the neighbours' updates to L-1.  The engine's
+// release/acquire progress counters (core/sync.hpp) provide the
+// happens-before edges for the side-channel writes, as they did for the
+// retired PipelinedLbm engine client.
+//
+// The carrier holds the fluid density: level 0 is the caller's initial
+// grid (interpreted as the initial density; the distributions start at
+// the corresponding zero-velocity equilibrium), each fluid update writes
+// the cell's density (BGK conserves it through the collision), and solid
+// cells copy through.  StencilSolver::solution() therefore reports the
+// evolved density field, and the full-matrix bit-identity tests compare
+// real physics, not a dummy payload.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/stencil_op.hpp"
+#include "lbm/kernel.hpp"
+
+namespace tb::lbm {
+
+/// Decodes a per-cell geometry field (the operator's analogue of the
+/// varcoef kappa side channel): 0 = fluid, 1 = no-slip wall, 2 = moving
+/// lid.  Any other value throws — geometry codes are exact small
+/// integers, never measured data.
+[[nodiscard]] inline Geometry geometry_from_codes(
+    const core::Grid3& codes) {
+  Geometry geo(codes.nx(), codes.ny(), codes.nz());
+  for (int k = 0; k < codes.nz(); ++k)
+    for (int j = 0; j < codes.ny(); ++j)
+      for (int i = 0; i < codes.nx(); ++i) {
+        const double v = codes.at(i, j, k);
+        if (v == 0.0)
+          geo.set(i, j, k, Cell::kFluid);
+        else if (v == 1.0)
+          geo.set(i, j, k, Cell::kWall);
+        else if (v == 2.0)
+          geo.set(i, j, k, Cell::kLid);
+        else
+          throw std::invalid_argument(
+              "lbm::geometry_from_codes: cell values must be 0 (fluid), "
+              "1 (wall) or 2 (lid)");
+      }
+  return geo;
+}
+
+/// The operator's side-channel state: geometry flags, BGK parameters and
+/// the two-lattice distribution ping-pong (lattice L%2 holds the
+/// distributions of time level L).  The LevelOrigin turns the schemes'
+/// run-local level argument into the absolute level; the StencilSolver
+/// facade bumps it between phases.
+class LbmState {
+ public:
+  /// `initial_density` supplies the level-0 density per cell; both
+  /// lattices start at the zero-velocity equilibrium of that density
+  /// (non-positive values — unphysical for LBM — fall back to cfg.rho0,
+  /// so pattern-filled probe grids stay finite).
+  LbmState(Geometry geo, const LbmConfig& cfg,
+           const core::Grid3& initial_density)
+      : geo_(std::move(geo)),
+        cfg_(cfg),
+        even_(initial_density.nx(), initial_density.ny(),
+              initial_density.nz()),
+        odd_(initial_density.nx(), initial_density.ny(),
+             initial_density.nz()) {
+    cfg_.validate();
+    if (geo_.nx() != initial_density.nx() ||
+        geo_.ny() != initial_density.ny() ||
+        geo_.nz() != initial_density.nz())
+      throw std::invalid_argument(
+          "LbmState: geometry shape must match the initial grid");
+    for (int k = 0; k < geo_.nz(); ++k)
+      for (int j = 0; j < geo_.ny(); ++j)
+        for (int i = 0; i < geo_.nx(); ++i) {
+          const double rho0 = initial_density.at(i, j, k);
+          const double rho = rho0 > 0.0 ? rho0 : cfg_.rho0;
+          for (int q = 0; q < kQ; ++q) {
+            const double feq = equilibrium(q, rho, 0.0, 0.0, 0.0);
+            even_.f(q).at(i, j, k) = feq;
+            odd_.f(q).at(i, j, k) = feq;
+          }
+        }
+  }
+
+  [[nodiscard]] const Geometry& geometry() const { return geo_; }
+  [[nodiscard]] const LbmConfig& config() const { return cfg_; }
+
+  /// Lattice holding the distributions of time levels with parity `p`.
+  [[nodiscard]] Lattice& lattice(int p) { return p == 0 ? even_ : odd_; }
+  [[nodiscard]] const Lattice& lattice(int p) const {
+    return p == 0 ? even_ : odd_;
+  }
+
+  /// Lattice holding the distributions of absolute time level `level`
+  /// (e.g. StencilSolver::levels_done()) — the one to read diagnostics
+  /// (velocity, density moments) from.
+  [[nodiscard]] const Lattice& current(int level) const {
+    return lattice(level % 2);
+  }
+
+  core::LevelOrigin origin;  ///< run-local level -> absolute level
+
+ private:
+  Geometry geo_;
+  LbmConfig cfg_;
+  Lattice even_, odd_;  ///< even/odd absolute-level distributions
+};
+
+/// D3Q19 stream-collide as a StencilOp.  The carrier update writes the
+/// fluid density (solid cells copy through), the real state advances in
+/// the LbmState side channel; see the header comment for why every
+/// scheme schedule is safe.  No __restrict__: in the compressed scheme
+/// the carrier dst row aliases the source row (j∓1, k∓1), harmless
+/// because each cell reads its carrier source before storing.
+struct LbmOp {
+  static constexpr int kHalo = 1;
+  static constexpr bool kHasNontemporal = false;
+
+  LbmState* state = nullptr;
+
+  /// One cell of the carrier update at absolute level parity — single
+  /// source of truth shared by both traversal directions.
+  double cell(const double* c, Lattice& dst_lat, const Lattice& src_lat,
+              int i, int j, int k) const {
+    if (state->geometry().at(i, j, k) != Cell::kFluid) return c[i];
+    return stream_collide_cell(state->geometry(), state->config(), src_lat,
+                               dst_lat, i, j, k);
+  }
+
+  void row(double* dst, const double* c, const double* /*jm*/,
+           const double* /*jp*/, const double* /*km*/,
+           const double* /*kp*/, int level, int j, int k, int i0,
+           int i1) const {
+    const int abs_level = state->origin.base + level;
+    const Lattice& src_lat = state->lattice((abs_level + 1) % 2);
+    Lattice& dst_lat = state->lattice(abs_level % 2);
+    for (int i = i0; i < i1; ++i)
+      dst[i] = cell(c, dst_lat, src_lat, i, j, k);
+  }
+
+  void row_reverse(double* dst, const double* c, const double* /*jm*/,
+                   const double* /*jp*/, const double* /*km*/,
+                   const double* /*kp*/, int level, int j, int k, int i0,
+                   int i1) const {
+    const int abs_level = state->origin.base + level;
+    const Lattice& src_lat = state->lattice((abs_level + 1) % 2);
+    Lattice& dst_lat = state->lattice(abs_level % 2);
+    for (int i = i1 - 1; i >= i0; --i)
+      dst[i] = cell(c, dst_lat, src_lat, i, j, k);
+  }
+
+  void row_nt(double* dst, const double* c, const double* jm,
+              const double* jp, const double* km, const double* kp,
+              int level, int j, int k, int i0, int i1) const {
+    row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
+  }
+};
+
+/// Naive reference advance of an LbmState by `steps` absolute levels
+/// starting after `base_level` — the oracle the equivalence tests pit
+/// the scheme templates against, built directly on the cell kernel.
+/// `carrier` mirrors what the solver facade maintains: each level writes
+/// every interior fluid cell's density (the kernel's own return value,
+/// for bit-exact comparison); solid cells keep their previous value.
+inline void reference_advance(LbmState& state, core::Grid3& carrier,
+                              int steps, int base_level = 0) {
+  for (int s = 0; s < steps; ++s) {
+    const int level = base_level + s + 1;
+    const Lattice& src = state.lattice((level + 1) % 2);
+    Lattice& dst = state.lattice(level % 2);
+    for (int k = 1; k < carrier.nz() - 1; ++k)
+      for (int j = 1; j < carrier.ny() - 1; ++j)
+        for (int i = 1; i < carrier.nx() - 1; ++i)
+          if (state.geometry().at(i, j, k) == Cell::kFluid)
+            carrier.at(i, j, k) = stream_collide_cell(
+                state.geometry(), state.config(), src, dst, i, j, k);
+  }
+}
+
+}  // namespace tb::lbm

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string_view>
 
 #include "perfmodel/single_cache_model.hpp"
 #include "perfmodel/wavefront_model.hpp"
@@ -32,12 +33,55 @@ namespace tb::perfmodel {
 /// Main-memory traffic per lattice-site update of one standard two-grid
 /// sweep of an operator (solution read + write + write-allocate), plus
 /// any read-only auxiliary fields the operator streams (the varcoef
-/// face coefficients).
+/// face coefficients, the lbm geometry flags).
 struct OperatorTraffic {
   double mem_bytes = 24.0;     ///< standard sweep, cached stores
   double mem_bytes_nt = 24.0;  ///< with streaming stores (= mem_bytes if none)
   double aux_bytes = 0.0;      ///< read-only per-cell auxiliary fields
+
+  /// Cache-resident state per in-flight block, as a multiple of the
+  /// carrier block's bytes (the `block_bytes` the capacity gate is fed).
+  /// 1.0 is the historic Jacobi calibration; operators whose update
+  /// streams additional per-cell fields through the cache (varcoef's
+  /// six coefficients, lbm's two 19-component lattices) scale it up so
+  /// the Sec. 1.3 capacity estimate sees their real working set.
+  double block_state_factor = 1.0;
 };
+
+/// Traffic of a registry operator by name — the single table the tuner's
+/// ranking, the search-space shaping and the bench matrix's bytes/LUP
+/// column share.  Unknown names get the generic 24 B/LUP two-grid
+/// traffic without a streaming-store path.
+[[nodiscard]] inline OperatorTraffic operator_traffic(std::string_view op) {
+  OperatorTraffic t;  // generic: 24 B/LUP, no NT, no aux
+  if (op == "jacobi") {
+    t.mem_bytes = 24.0;
+    t.mem_bytes_nt = 16.0;  // streaming stores skip the write-allocate
+  } else if (op == "varcoef") {
+    t.aux_bytes = 6 * sizeof(double);  // six face-coefficient fields
+    t.block_state_factor = 1.0 + t.aux_bytes / t.mem_bytes;
+  } else if (op == "lbm") {
+    // 19 distributions read + written (incl. write-allocate) per update,
+    // plus the density carrier's own two-grid traffic; the geometry
+    // flags stream one read-only byte per cell.  No streaming-store
+    // path: the pull-scheme gather reads the destination neighborhood.
+    t.mem_bytes = 19 * 24.0 + 24.0;
+    t.mem_bytes_nt = t.mem_bytes;
+    t.aux_bytes = 1.0;
+    // In-flight state per cell: both parities of the 19 distributions
+    // plus both carrier grids plus one geometry byte, relative to the
+    // 8 B/cell carrier block the capacity gate is fed.
+    t.block_state_factor = (2 * 19 * 8.0 + 2 * 8.0 + 1.0) / 8.0;
+  }
+  // box27 reads more *rows* but the same grids: traffic per update is
+  // identical to jacobi without the streaming-store path.  redblack
+  // updates only half the cells per level but still streams the full
+  // solution through memory (the other color is copied), so each
+  // half-sweep level moves the full 24 B per carried cell — one full
+  // red–black iteration (two levels) costs two Jacobi sweeps of traffic
+  // for one sweep's worth of relaxation.
+  return t;
+}
 
 /// Bandwidth-model view of one shared-memory node.
 class NodeModel {
@@ -90,13 +134,13 @@ class NodeModel {
     const double base_mem =
         (compressed ? op.mem_bytes - wa : op.mem_bytes) + op.aux_bytes;
     // Sec. 1.3 capacity estimate: the shared cache must hold the du
-    // in-flight blocks of every thread (plus any auxiliary fields).
-    const double aux_factor = 1.0 + op.aux_bytes / op.mem_bytes;
+    // in-flight blocks of every thread, including every per-cell field
+    // the operator keeps resident (coefficients, side-channel lattices).
     const double max_du =
         max_thread_distance(spec_, t,
                             static_cast<std::size_t>(
                                 static_cast<double>(block_bytes) *
-                                aux_factor));
+                                op.block_state_factor));
     if (static_cast<double>(du) > max_du || max_du < 1.0)
       return baseline_lups(op, teams * t, /*nontemporal=*/false);
     const double mem = base_mem / S;

@@ -22,16 +22,19 @@ namespace tb::topo {
 
 namespace {
 
-/// sysconf cache probe; 0 when the OS does not expose the value.
-std::size_t sysconf_bytes(int name) {
-#if defined(_SC_LEVEL2_CACHE_SIZE)
+/// sysconf cache probe; 0 when the OS does not report the value.  Each
+/// call site guards itself with the availability of the specific
+/// _SC_LEVELn_CACHE_SIZE macro it passes: an earlier version gated this
+/// helper's whole body on _SC_LEVEL2_CACHE_SIZE, so a platform defining
+/// only the L3 macro silently probed 0 for L3 — a wrong machine
+/// signature that made the tuning cache keep (or drop) plans it
+/// shouldn't.
+#if defined(__unix__) || defined(__APPLE__)
+[[maybe_unused]] std::size_t sysconf_bytes(int name) {
   const long v = ::sysconf(name);
   return v > 0 ? static_cast<std::size_t>(v) : 0;
-#else
-  (void)name;
-  return 0;
-#endif
 }
+#endif
 
 /// Reads a "<number>K" cache size from sysfs (Linux); 0 when absent.
 std::size_t sysfs_cache_bytes(const char* path) {

@@ -3,14 +3,49 @@
 #include <algorithm>
 
 #include "core/registry.hpp"
+#include "tune/search_space.hpp"
 
 namespace tb::tune {
+
+namespace {
+
+/// Clamps a (j, k) tile extent to the probe interior (>= 1).
+int clip_tile(int tile, int interior) {
+  return std::clamp(tile, 1, std::max(1, interior));
+}
+
+}  // namespace
+
+Candidate project_to_probe(Candidate c, const Problem& p, int nx, int ny,
+                           int nz, const topo::MachineSpec& machine) {
+  const int iy = ny - 2, iz = nz - 2;
+  // Blocks enumerated for the full problem may exceed the probe grid;
+  // clip EVERY extent — not just bx — so the probe exercises the same
+  // schedule shape instead of collapsing to one fat tile per sweep.
+  c.cfg.pipeline.block.bx = std::min(c.cfg.pipeline.block.bx, nx);
+  c.cfg.pipeline.block.by = clip_tile(c.cfg.pipeline.block.by, iy);
+  c.cfg.pipeline.block.bz = clip_tile(c.cfg.pipeline.block.bz, iz);
+  c.cfg.baseline.block.bx = std::min(c.cfg.baseline.block.bx, nx);
+  c.cfg.baseline.block.by = clip_tile(c.cfg.baseline.block.by, iy);
+  c.cfg.baseline.block.bz = clip_tile(c.cfg.baseline.block.bz, iz);
+  c.cfg.wavefront.by = clip_tile(c.cfg.wavefront.by, iy);
+  // The enumeration decided the streaming-store flag from the FULL
+  // problem's working set, but the probe grid is usually cache-resident,
+  // where NT stores only lose; measurement and deployment must each
+  // apply the paper's Sec. 1.1 criterion to the grid they actually run.
+  if (c.cfg.variant == core::Variant::kBaseline &&
+      c.cfg.baseline.nontemporal)
+    c.cfg.baseline.nontemporal = nontemporal_pays(p.op, nx, ny, nz, machine);
+  return c;
+}
 
 double measure_candidate(const Candidate& c, const Problem& p,
                          const ProbeOptions& opts) {
   const int nx = std::clamp(p.nx, 4, std::max(4, opts.max_extent));
   const int ny = std::clamp(p.ny, 4, std::max(4, opts.max_extent));
   const int nz = std::clamp(p.nz, 4, std::max(4, opts.max_extent));
+  const topo::MachineSpec machine =
+      opts.machine.has_value() ? *opts.machine : topo::host_machine();
 
   core::Grid3 initial(nx, ny, nz);
   core::fill_test_pattern(initial);
@@ -18,11 +53,7 @@ double measure_candidate(const Candidate& c, const Problem& p,
   const core::Grid3 kappa = core::make_slab_kappa(nx, ny, nz);
 
   core::SolverConfig cfg;
-  c.apply(cfg);
-  // Blocks enumerated for the full problem may exceed the probe grid;
-  // clip them so the probe exercises the same schedule shape.
-  cfg.pipeline.block.bx = std::min(cfg.pipeline.block.bx, nx);
-  cfg.baseline.block.bx = std::min(cfg.baseline.block.bx, nx);
+  project_to_probe(c, p, nx, ny, nz, machine).apply(cfg);
 
   core::StencilSolver solver =
       core::make_solver(c.variant, p.op, cfg, initial, &kappa);

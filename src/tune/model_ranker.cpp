@@ -5,16 +5,9 @@
 namespace tb::tune {
 
 perfmodel::OperatorTraffic operator_traffic(const std::string& op) {
-  perfmodel::OperatorTraffic t;  // generic: 24 B/LUP, no NT, no aux
-  if (op == "jacobi") {
-    t.mem_bytes = 24.0;
-    t.mem_bytes_nt = 16.0;  // streaming stores skip the write-allocate
-  } else if (op == "varcoef") {
-    t.aux_bytes = 6 * sizeof(double);  // six face-coefficient fields
-  }
-  // box27 reads more *rows* but the same grids: traffic per update is
-  // identical to jacobi without the streaming-store path.
-  return t;
+  // The table lives with the models (perfmodel/model_api.hpp) so the
+  // bench matrix's bytes/LUP column and the ranker stay in agreement.
+  return perfmodel::operator_traffic(op);
 }
 
 double predict_mlups(const Candidate& c, const Problem& p,

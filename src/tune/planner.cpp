@@ -75,8 +75,13 @@ Plan plan(const Problem& p, const PlanOptions& opts) {
                 out.enumerated, machine.name.c_str(),
                 out.shortlist.size());
 
+  // Probes re-derive size-dependent decisions (streaming stores) against
+  // the same machine the ranking used.
+  ProbeOptions probe = opts.probe;
+  if (!probe.machine.has_value()) probe.machine = machine;
+
   for (Candidate& c : out.shortlist) {
-    c.measured_mlups = measure_candidate(c, p, opts.probe);
+    c.measured_mlups = measure_candidate(c, p, probe);
     ++out.probes_run;
     if (opts.verbose)
       std::printf("tune:   probe %-38s model %8.1f  measured %8.1f MLUP/s\n",

@@ -1,8 +1,10 @@
 #include "tune/search_space.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "core/registry.hpp"
+#include "perfmodel/model_api.hpp"
 
 namespace tb::tune {
 
@@ -17,10 +19,16 @@ std::vector<int> thread_ladder(int cap) {
 }
 
 /// Square (j, k) tiles from the geometric ladder, clipped to the
-/// interior extent and deduplicated.
-std::vector<int> tile_ladder(int interior) {
+/// interior extent and deduplicated.  Heavy-state operators (lbm moves
+/// 20 grids plus geometry per cell) get a ladder one octave down, so the
+/// enumeration contains blocks whose in-flight set still fits the shared
+/// cache — the capacity gate in the model would otherwise demote every
+/// pipelined candidate to its baseline fallback.
+std::vector<int> tile_ladder(int interior, bool heavy) {
   std::vector<int> tiles;
-  for (int t : {8, 16, 32}) {
+  const auto ladder = heavy ? std::array<int, 3>{4, 8, 16}
+                            : std::array<int, 3>{8, 16, 32};
+  for (int t : ladder) {
     const int clipped = std::max(1, std::min(t, interior));
     if (tiles.empty() || tiles.back() != clipped) tiles.push_back(clipped);
   }
@@ -33,12 +41,28 @@ bool wants(const Problem& p, const char* variant) {
 
 }  // namespace
 
+bool nontemporal_pays(const std::string& op, int nx, int ny, int nz,
+                      const topo::MachineSpec& machine) {
+  const perfmodel::OperatorTraffic traffic =
+      perfmodel::operator_traffic(op);
+  if (traffic.mem_bytes_nt >= traffic.mem_bytes)
+    return false;  // the operator has no streaming-store row path
+  return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * nz *
+             (2 * sizeof(double)) >
+         machine.shared_cache_bytes;
+}
+
 std::vector<Candidate> enumerate_candidates(
     const Problem& p, const topo::MachineSpec& machine) {
   std::vector<Candidate> out;
   const int cores = machine.total_cores();
   const std::vector<int> threads = thread_ladder(cores);
-  const std::vector<int> tiles = tile_ladder(std::max(p.ny - 2, 1));
+  const perfmodel::OperatorTraffic traffic =
+      perfmodel::operator_traffic(p.op);
+  const bool heavy =
+      traffic.mem_bytes + traffic.aux_bytes >= 4 * 24.0;
+  const std::vector<int> tiles =
+      tile_ladder(std::max(p.ny - 2, 1), heavy);
 
   // The oracle is only a "schedule" when explicitly requested; tuning
   // never proposes a single-threaded naive sweep on its own.
@@ -59,12 +83,10 @@ std::vector<Candidate> enumerate_candidates(
         c.cfg.baseline.threads = th;
         c.cfg.baseline.block = {p.nx, tile, tile};
         // Streaming stores only exist for operators with an NT path and
-        // only pay off when the grid exceeds the outer cache (Sec. 1.1).
+        // only pay off when the grid exceeds the outer cache (Sec. 1.1);
+        // the probes re-apply the same criterion at probe size.
         c.cfg.baseline.nontemporal =
-            p.op == "jacobi" &&
-            static_cast<std::size_t>(p.nx) * p.ny * p.nz *
-                    (2 * sizeof(double)) >
-                machine.shared_cache_bytes;
+            nontemporal_pays(p.op, p.nx, p.ny, p.nz, machine);
         out.push_back(c);
       }
   }

@@ -23,4 +23,15 @@ namespace tb::tune {
 [[nodiscard]] std::vector<Candidate> enumerate_candidates(
     const Problem& p, const topo::MachineSpec& machine);
 
+/// The paper's Sec. 1.1 streaming-store criterion evaluated on a given
+/// grid: non-temporal stores pay off only for operators with a streaming
+/// row path and only when the two-grid working set exceeds the outer
+/// cache (below that, the stores evict lines the next sweep would hit).
+/// Shared by the enumeration (full problem size) and the timed probes
+/// (probe size) — see measure.hpp — so both sides decide by the same
+/// rule on the grid they actually run.
+[[nodiscard]] bool nontemporal_pays(const std::string& op, int nx, int ny,
+                                    int nz,
+                                    const topo::MachineSpec& machine);
+
 }  // namespace tb::tune

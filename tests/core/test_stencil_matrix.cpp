@@ -1,11 +1,12 @@
 // The unified-registry matrix property:
 //
 //   Every (variant x operator) combination constructible by string name —
-//   reference/baseline/pipelined/compressed/wavefront x jacobi/varcoef —
-//   is bit-identical to the naive reference of the same operator, on
-//   cubic and non-cubic grids, including step counts that are NOT a
-//   multiple of the team-sweep depth (the remainder falls back to
-//   baseline sweeps inside the facade).
+//   reference/baseline/pipelined/compressed/wavefront x
+//   jacobi/varcoef/box27/redblack/lbm — is bit-identical to the naive
+//   reference of the same operator, on cubic and non-cubic grids,
+//   including step counts that are NOT a multiple of the team-sweep
+//   depth (the remainder falls back to baseline sweeps inside the
+//   facade).
 #include <gtest/gtest.h>
 
 #include <ostream>
@@ -13,6 +14,7 @@
 
 #include "core/registry.hpp"
 #include "core/stencil_op.hpp"
+#include "lbm/stencil_op.hpp"
 #include "support/grid_test_utils.hpp"
 
 namespace tb::core {
@@ -31,6 +33,20 @@ Grid3 reference_result_op(const std::string& op, const Grid3& initial,
   }
   if (op == "box27")
     return reference_solve_op(Box27Op{}, a, b, steps).clone();
+  if (op == "redblack")
+    // Default-constructed op: absolute levels 1..steps, exactly what the
+    // facade reproduces through its LevelOrigin bookkeeping.
+    return reference_solve_op(RedBlackOp{}, a, b, steps).clone();
+  if (op == "lbm") {
+    // The facade derives the cavity geometry from the grid shape and
+    // evolves the density carrier; replicate with the naive cell loop.
+    lbm::LbmState state(
+        lbm::Geometry::cavity(initial.nx(), initial.ny(), initial.nz()),
+        lbm::LbmConfig{}, initial);
+    Grid3 carrier = initial.clone();
+    lbm::reference_advance(state, carrier, steps);
+    return carrier;
+  }
   return reference_solve_op(JacobiOp{}, a, b, steps).clone();
 }
 
@@ -102,7 +118,7 @@ INSTANTIATE_TEST_SUITE_P(RemainderNonCubic, StencilMatrix,
 
 TEST(Registry, EnumeratesTheFullMatrix) {
   EXPECT_EQ(registered_variants().size(), 5u);
-  EXPECT_EQ(registered_operators().size(), 3u);
+  EXPECT_EQ(registered_operators().size(), 5u);
 }
 
 TEST(Registry, MetaVariantsAreSelectableButNotEnumerable) {
@@ -158,7 +174,7 @@ TEST(Registry, UnknownNamesThrow) {
   SolverConfig cfg;
   EXPECT_THROW(make_solver("gauss-seidel", "jacobi", cfg, initial),
                std::invalid_argument);
-  EXPECT_THROW(make_solver("pipelined", "lbm", cfg, initial),
+  EXPECT_THROW(make_solver("pipelined", "d2q9", cfg, initial),
                std::invalid_argument);
 }
 
@@ -199,6 +215,55 @@ TEST(Registry, RoundTripsEveryName) {
     ASSERT_TRUE(apply_operator(cfg, op));
     EXPECT_EQ(std::string(to_string(cfg.op)), op);
   }
+}
+
+// ---- red–black semantics ----------------------------------------------
+
+TEST(RedBlack, TwoLevelsAreOneGaussSeidelIteration) {
+  // Level 1 updates the odd-sum color from the initial state; level 2
+  // updates the even-sum color reading the fresh odd values — together
+  // exactly one classic in-place red–black Gauss–Seidel iteration, and
+  // bit-identically so (a red cell's six face neighbours are all black,
+  // so the two-grid copy-through changes nothing about what is read).
+  const Grid3 initial = make_initial(8, 7, 9);
+  SolverConfig cfg;
+  StencilSolver solver = make_solver("reference", "redblack", cfg, initial);
+  solver.advance(2);
+
+  Grid3 g = initial.clone();
+  for (int color : {1, 0})
+    for (int k = 1; k < g.nz() - 1; ++k)
+      for (int j = 1; j < g.ny() - 1; ++j)
+        for (int i = 1; i < g.nx() - 1; ++i)
+          if (((i + j + k) & 1) == color)
+            g.at(i, j, k) = (g.at(i - 1, j, k) + g.at(i + 1, j, k) +
+                             g.at(i, j - 1, k) + g.at(i, j + 1, k) +
+                             g.at(i, j, k - 1) + g.at(i, j, k + 1)) *
+                            (1.0 / 6.0);
+  EXPECT_EQ(max_abs_diff(solver.solution(), g), 0.0);
+}
+
+TEST(RedBlack, ColorPhaseSurvivesChainedAdvances) {
+  // 3 then 5 steps must equal 8 straight steps: the facade's LevelOrigin
+  // keeps the color alternation absolute across advance() calls and the
+  // temporally blocked variants' remainder phases.
+  const Grid3 initial = make_initial(12, 10, 11);
+  SolverConfig cfg;
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = 2;
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {5, 4, 4};
+  StencilSolver once = make_solver("pipelined", "redblack", cfg, initial);
+  once.advance(8);
+  StencilSolver stepwise = make_solver("pipelined", "redblack", cfg,
+                                       initial);
+  stepwise.advance(3);  // 3 remainder levels
+  stepwise.advance(5);  // 1 sweep + 1 remainder
+  EXPECT_EQ(max_abs_diff(once.solution(), stepwise.solution()), 0.0);
+  EXPECT_EQ(max_abs_diff(once.solution(),
+                         reference_result_op("redblack", initial, initial,
+                                             8)),
+            0.0);
 }
 
 // ---- facade properties across the new axes ---------------------------

@@ -45,6 +45,7 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
   const int steps = epochs * cfg.pipeline.levels_per_sweep();
 
   for (const std::string& op : core::registered_operators()) {
+    if (op == "lbm") continue;  // see NotYetDecomposableOperatorsThrow
     core::SolverConfig ref_cfg;
     core::StencilSolver ref =
         core::make_solver("reference", op, ref_cfg, initial, &kappa);
@@ -62,6 +63,26 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
     EXPECT_EQ(core::max_abs_diff(prefixed, result), 0.0)
         << "operator dist:" << op;
   }
+}
+
+TEST(DistRegistry, NotYetDecomposableOperatorsThrow) {
+  // "dist:lbm" is a registered name but the ghost exchange transports
+  // only the scalar carrier, not the 19 distribution fields; until the
+  // multi-field halo lands (ROADMAP), construction fails loudly instead
+  // of silently streaming stale ghost distributions.
+  const core::Grid3 initial = make_initial(12);
+  DistConfig cfg;
+  cfg.pipeline.team_size = 1;
+  simnet::World world(1);
+  world.run([&](simnet::Comm& comm) {
+    try {
+      (void)make_distributed("dist:lbm", comm, cfg, initial);
+      FAIL() << "dist:lbm must not construct";
+    } catch (const std::invalid_argument& err) {
+      EXPECT_NE(std::string(err.what()).find("distribution"),
+                std::string::npos);
+    }
+  });
 }
 
 TEST(DistRegistry, BadNamesAndMissingKappaThrow) {

@@ -1,14 +1,34 @@
-// Tests of the D3Q19 lattice-Boltzmann extension: model invariants,
-// physics sanity, and bit-equivalence of the pipelined schedule.
+// Tests of the D3Q19 lattice-Boltzmann operator: model invariants,
+// physics sanity, and bit-equivalence of every scheme of the registry
+// matrix — carrier density AND full distribution lattices — against a
+// naive oracle built directly on the cell kernel.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <numeric>
+#include <string>
 
-#include "lbm/solver.hpp"
+#include "core/registry.hpp"
+#include "lbm/stencil_op.hpp"
 
 namespace tb::lbm {
 namespace {
+
+/// Naive stream-collide advance on raw lattices (the pre-StencilOp
+/// oracle): even levels in `a`, odd levels in `b`.
+void naive_run(const Geometry& geo, const LbmConfig& cfg, Lattice& a,
+               Lattice& b, int steps, int base_level = 0) {
+  core::Box all;
+  all.lo = {1, 1, 1};
+  all.hi = {geo.nx() - 1, geo.ny() - 1, geo.nz() - 1};
+  Lattice* lat[2] = {&a, &b};
+  for (int s = 0; s < steps; ++s) {
+    const int global = base_level + s + 1;
+    stream_collide_box(geo, cfg, *lat[(global + 1) % 2],
+                       *lat[global % 2], all);
+  }
+}
 
 // ---- model invariants --------------------------------------------------
 
@@ -72,6 +92,19 @@ TEST(LbmConfig, ValidatesOmega) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(LbmState, DecodesGeometryCodesAndRejectsGarbage) {
+  core::Grid3 codes(4, 4, 4);
+  codes.fill(1.0);
+  codes.at(1, 1, 1) = 0.0;
+  codes.at(2, 2, 2) = 2.0;
+  const Geometry geo = geometry_from_codes(codes);
+  EXPECT_EQ(geo.at(1, 1, 1), Cell::kFluid);
+  EXPECT_EQ(geo.at(2, 2, 2), Cell::kLid);
+  EXPECT_EQ(geo.at(0, 0, 0), Cell::kWall);
+  codes.at(3, 3, 3) = 0.5;
+  EXPECT_THROW((void)geometry_from_codes(codes), std::invalid_argument);
+}
+
 // ---- physics sanity ----------------------------------------------------
 
 TEST(Lbm, EquilibriumAtRestIsStationary) {
@@ -83,8 +116,7 @@ TEST(Lbm, EquilibriumAtRestIsStationary) {
   Lattice a(n, n, n), b(n, n, n);
   a.init_equilibrium(1.0, {0, 0, 0});
   b.init_equilibrium(1.0, {0, 0, 0});
-  ReferenceLbm solver(geo, cfg);
-  solver.run(a, b, 4);
+  naive_run(geo, cfg, a, b, 4);
   // Still at rest, density 1 everywhere in the fluid.
   for (int k = 1; k < n - 1; ++k)
     for (int j = 1; j < n - 1; ++j)
@@ -104,9 +136,8 @@ TEST(Lbm, MassConservedInClosedCavity) {
   a.init_equilibrium(1.0, {0, 0, 0});
   b.init_equilibrium(1.0, {0, 0, 0});
   const double m0 = a.total_mass(geo);
-  ReferenceLbm solver(geo, cfg);
-  solver.run(a, b, 20);
-  // 20 steps: final level in grid a (even).
+  naive_run(geo, cfg, a, b, 20);
+  // 20 steps: final level in lattice a (even).
   EXPECT_NEAR(a.total_mass(geo) / m0, 1.0, 1e-12);
 }
 
@@ -119,8 +150,7 @@ TEST(Lbm, LidDrivesFlow) {
   Lattice a(n, n, n), b(n, n, n);
   a.init_equilibrium(1.0, {0, 0, 0});
   b.init_equilibrium(1.0, {0, 0, 0});
-  ReferenceLbm solver(geo, cfg);
-  solver.run(a, b, 60);
+  naive_run(geo, cfg, a, b, 60);
   // Fluid just below the lid moves in +x; return flow appears lower down.
   const auto near_lid = a.velocity(n / 2, n / 2, n - 2);
   EXPECT_GT(near_lid[0], 0.005);
@@ -138,8 +168,7 @@ TEST(Lbm, StokesFlowIsSymmetricInY) {
   Lattice a(n, n, n), b(n, n, n);
   a.init_equilibrium(1.0, {0, 0, 0});
   b.init_equilibrium(1.0, {0, 0, 0});
-  ReferenceLbm solver(geo, cfg);
-  solver.run(a, b, 30);
+  naive_run(geo, cfg, a, b, 30);
   for (int k = 1; k < n - 1; ++k)
     for (int j = 1; j < n / 2; ++j) {
       const auto u1 = a.velocity(n / 2, j, k);
@@ -149,70 +178,146 @@ TEST(Lbm, StokesFlowIsSymmetricInY) {
     }
 }
 
-// ---- pipelined equivalence ----------------------------------------------
+// ---- the StencilOp expression of stream-collide ------------------------
+
+/// Geometry codes of a cavity with a two-cell interior obstacle: wall
+/// everywhere on the hull, lid on top, bounce-back inside the blocks.
+core::Grid3 obstacle_cavity_codes(int n) {
+  core::Grid3 codes(n, n, n);
+  codes.fill(0.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        if (i == 0 || j == 0 || k == 0 || i == n - 1 || j == n - 1 ||
+            k == n - 1)
+          codes.at(i, j, k) = 1.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) codes.at(i, j, n - 1) = 2.0;
+  codes.at(n / 2, n / 2, n / 2) = 1.0;
+  codes.at(n / 2 + 1, n / 2, n / 2) = 1.0;
+  return codes;
+}
 
 struct LbmCase {
-  int teams, t, T;
+  std::string variant;
+  int teams = 1, t = 2, T = 2;
   core::SyncMode sync = core::SyncMode::kRelaxed;
   core::BlockSize block{5, 4, 3};
+  int steps = 8;
+
+  friend std::ostream& operator<<(std::ostream& os, const LbmCase& c) {
+    return os << c.variant << "_n" << c.teams << "t" << c.t << "T" << c.T
+              << "_s" << c.steps;
+  }
 };
 
 class LbmEquivalence : public ::testing::TestWithParam<LbmCase> {};
 
-TEST_P(LbmEquivalence, PipelinedMatchesReference) {
+TEST_P(LbmEquivalence, SchemeMatchesNaiveOracle) {
   const LbmCase c = GetParam();
   const int n = 14;
-  Geometry geo = Geometry::cavity(n, n, n);
-  // An interior obstacle exercises bounce-back inside the blocks.
-  geo.set(n / 2, n / 2, n / 2, Cell::kWall);
-  geo.set(n / 2 + 1, n / 2, n / 2, Cell::kWall);
-  LbmConfig cfg;
-  cfg.omega = 1.3;
-  cfg.lid_velocity = {0.05, 0.01, 0};
+  const core::Grid3 codes = obstacle_cavity_codes(n);
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
 
-  core::PipelineConfig pc;
-  pc.teams = c.teams;
-  pc.team_size = c.t;
-  pc.steps_per_thread = c.T;
-  pc.sync = c.sync;
-  pc.block = c.block;
-  pc.du = 3;
+  core::SolverConfig cfg;
+  cfg.lbm.omega = 1.3;
+  cfg.lbm.lid_velocity = {0.05, 0.01, 0};
+  cfg.lbm_geometry_from_aux = true;
+  cfg.pipeline.teams = c.teams;
+  cfg.pipeline.team_size = c.t;
+  cfg.pipeline.steps_per_thread = c.T;
+  cfg.pipeline.sync = c.sync;
+  cfg.pipeline.block = c.block;
+  cfg.pipeline.du = 3;
+  cfg.baseline.threads = c.teams * c.t;
+  cfg.baseline.block = {6, 5, 4};
+  cfg.wavefront.threads = 3;
+  cfg.wavefront.by = 4;
 
-  auto fresh = [&] {
-    Lattice l(n, n, n);
-    l.init_equilibrium(1.0, {0, 0, 0});
-    return l;
-  };
-  Lattice ra = fresh(), rb = fresh(), pa = fresh(), pb = fresh();
+  core::StencilSolver solver =
+      core::make_solver(c.variant, "lbm", cfg, initial, &codes);
+  solver.advance(c.steps);
 
-  PipelinedLbm pipelined(geo, cfg, pc);
-  const int sweeps = 2;
-  const int steps = sweeps * pc.levels_per_sweep();
-  ReferenceLbm reference(geo, cfg);
-  reference.run(ra, rb, steps);
-  pipelined.run(pa, pb, sweeps);
+  // Oracle: the identical LbmState advanced by the naive cell loop.
+  LbmState oracle(geometry_from_codes(codes), cfg.lbm, initial);
+  core::Grid3 carrier = initial.clone();
+  reference_advance(oracle, carrier, c.steps);
 
-  Lattice& ref_result = (steps % 2 == 0) ? ra : rb;
-  Lattice& pipe_result = pipelined.result(pa, pb, sweeps);
-  EXPECT_EQ(pipe_result.max_abs_diff(ref_result), 0.0);
+  // Carrier density and the full distribution lattices, bit for bit.
+  EXPECT_EQ(core::max_abs_diff(solver.solution(), carrier), 0.0) << c;
+  ASSERT_NE(solver.lbm_state(), nullptr);
+  EXPECT_EQ(solver.lbm_state()->current(c.steps).max_abs_diff(
+                oracle.current(c.steps)),
+            0.0)
+      << c;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, LbmEquivalence,
-    ::testing::Values(LbmCase{1, 1, 1}, LbmCase{1, 2, 1}, LbmCase{1, 2, 2},
-                      LbmCase{2, 2, 1}, LbmCase{1, 4, 1},
-                      LbmCase{1, 3, 2},
-                      LbmCase{2, 2, 1, core::SyncMode::kBarrier},
-                      LbmCase{1, 2, 2, core::SyncMode::kRelaxed,
-                              core::BlockSize{14, 14, 2}},
-                      LbmCase{1, 2, 2, core::SyncMode::kRelaxed,
-                              core::BlockSize{2, 2, 2}}));
+    ::testing::Values(
+        LbmCase{"baseline", 1, 2, 1},
+        LbmCase{"pipelined", 1, 1, 1}, LbmCase{"pipelined", 1, 2, 1},
+        LbmCase{"pipelined", 1, 2, 2}, LbmCase{"pipelined", 2, 2, 1},
+        LbmCase{"pipelined", 1, 4, 1},
+        LbmCase{"pipelined", 1, 3, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{5, 4, 3}, 12},
+        LbmCase{"pipelined", 2, 2, 1, core::SyncMode::kBarrier},
+        LbmCase{"pipelined", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{14, 14, 2}},
+        LbmCase{"pipelined", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{2, 2, 2}},
+        LbmCase{"compressed", 1, 2, 2},
+        LbmCase{"compressed", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{2, 2, 2}, 12},
+        LbmCase{"wavefront", 1, 2, 2},
+        // Remainder steps: 7 is a multiple of neither depth 4 nor 3.
+        LbmCase{"pipelined", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{5, 4, 3}, 7},
+        LbmCase{"compressed", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{5, 4, 3}, 7},
+        LbmCase{"wavefront", 1, 2, 2, core::SyncMode::kRelaxed,
+                core::BlockSize{5, 4, 3}, 7}));
 
-TEST(Lbm, PipelinedRejectsCompressedScheme) {
-  core::PipelineConfig pc;
-  pc.scheme = core::GridScheme::kCompressed;
-  EXPECT_THROW(PipelinedLbm(Geometry::cavity(8, 8, 8), LbmConfig{}, pc),
-               std::invalid_argument);
+TEST(Lbm, IncrementalAdvanceMatchesOneShot) {
+  // The facade's LevelOrigin bookkeeping: chained advances must keep the
+  // distribution parity and the carrier in lock step.
+  const int n = 12;
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  core::SolverConfig cfg;
+  cfg.pipeline.team_size = 2;
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {5, 4, 3};
+  core::StencilSolver once = core::make_solver("pipelined", "lbm", cfg,
+                                               initial);
+  once.advance(9);
+  core::StencilSolver stepwise = core::make_solver("pipelined", "lbm", cfg,
+                                                   initial);
+  stepwise.advance(4);  // 1 sweep
+  stepwise.advance(5);  // 1 sweep + 1 remainder
+  EXPECT_EQ(core::max_abs_diff(once.solution(), stepwise.solution()), 0.0);
+  EXPECT_EQ(once.lbm_state()->current(9).max_abs_diff(
+                stepwise.lbm_state()->current(9)),
+            0.0);
+}
+
+TEST(Lbm, DefaultGeometryIsTheLidDrivenCavity) {
+  const int n = 10;
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  core::SolverConfig cfg;
+  core::StencilSolver solver = core::make_solver("baseline", "lbm", cfg,
+                                                 initial);
+  const LbmState* state = solver.lbm_state();
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->geometry().at(n / 2, n / 2, n - 1), Cell::kLid);
+  EXPECT_EQ(state->geometry().at(0, n / 2, n / 2), Cell::kWall);
+  EXPECT_EQ(state->geometry().at(n / 2, n / 2, n / 2), Cell::kFluid);
+  const double mass0 = state->current(0).total_mass(state->geometry());
+  solver.advance(12);
+  EXPECT_NEAR(state->current(12).total_mass(state->geometry()) / mass0,
+              1.0, 1e-12);
 }
 
 TEST(Lbm, CodeBalanceMotivation) {

@@ -123,6 +123,33 @@ TEST(ModelRanker, OperatorTrafficMatchesTheOperators) {
   EXPECT_EQ(operator_traffic("jacobi").aux_bytes, 0.0);
   EXPECT_EQ(operator_traffic("varcoef").aux_bytes, 48.0);
   EXPECT_EQ(operator_traffic("box27").mem_bytes_nt, 24.0);
+  // Each red–black half-sweep still streams the full solution (the
+  // other color is copied through), so per carried cell it moves the
+  // Jacobi traffic without a streaming-store path.
+  EXPECT_EQ(operator_traffic("redblack").mem_bytes, 24.0);
+  EXPECT_EQ(operator_traffic("redblack").mem_bytes_nt, 24.0);
+  // 19 distributions + the density carrier, read+write+write-allocate,
+  // plus one geometry byte.
+  EXPECT_EQ(operator_traffic("lbm").mem_bytes, 20 * 24.0);
+  EXPECT_EQ(operator_traffic("lbm").aux_bytes, 1.0);
+  // The pipelined capacity gate must see the side-channel lattices:
+  // lbm keeps ~40 carrier-blocks of state in flight per block.
+  EXPECT_GT(operator_traffic("lbm").block_state_factor, 30.0);
+  EXPECT_EQ(operator_traffic("jacobi").block_state_factor, 1.0);
+}
+
+TEST(SearchSpace, HeavyOperatorsGetCacheSizedTiles) {
+  // The lbm working set per cell is ~20x jacobi's: the tile ladder must
+  // shrink so the pipelined capacity gate still admits real candidates.
+  const topo::MachineSpec m = topo::nehalem_ep();
+  int min_jacobi = 1 << 30, min_lbm = 1 << 30;
+  for (const Candidate& c : enumerate_candidates(cube(64), m))
+    if (c.variant == "pipelined")
+      min_jacobi = std::min(min_jacobi, c.cfg.pipeline.block.by);
+  for (const Candidate& c : enumerate_candidates(cube(64, "lbm"), m))
+    if (c.variant == "pipelined")
+      min_lbm = std::min(min_lbm, c.cfg.pipeline.block.by);
+  EXPECT_LT(min_lbm, min_jacobi);
 }
 
 TEST(ModelRanker, FillsScoresAndSortsDescending) {
@@ -189,6 +216,61 @@ TEST(Measure, ProbesReportPositiveThroughput) {
   EXPECT_GT(measure_candidate(c, cube(16), probe), 0.0);
 }
 
+TEST(Measure, ProjectsFullProblemSchedulesOntoTheProbeGrid) {
+  // Regression: candidates enumerated for a 200^3 problem carry (j, k)
+  // tiles up to 32 and streaming stores; a 16^3 probe (interior 14) must
+  // clip EVERY extent — by/bz of both schedules and the wavefront's by,
+  // not just bx — and re-derive the NT flag for the (cache-resident)
+  // probe grid, or the probe times a different schedule shape than the
+  // candidate being ranked.
+  const topo::MachineSpec m = topo::nehalem_ep();
+  const Problem p = cube(200);
+  bool saw_wide_tile = false, saw_nt = false, saw_wavefront = false;
+  for (const Candidate& c : enumerate_candidates(p, m)) {
+    saw_wide_tile = saw_wide_tile || c.cfg.pipeline.block.by > 14 ||
+                    c.cfg.baseline.block.by > 14;
+    saw_nt = saw_nt || c.cfg.baseline.nontemporal;
+    saw_wavefront = saw_wavefront || c.variant == "wavefront";
+
+    const Candidate probe = project_to_probe(c, p, 16, 16, 16, m);
+    EXPECT_LE(probe.cfg.pipeline.block.by, 14) << c.describe();
+    EXPECT_LE(probe.cfg.pipeline.block.bz, 14) << c.describe();
+    EXPECT_LE(probe.cfg.pipeline.block.bx, 16) << c.describe();
+    EXPECT_LE(probe.cfg.baseline.block.by, 14) << c.describe();
+    EXPECT_LE(probe.cfg.baseline.block.bz, 14) << c.describe();
+    EXPECT_LE(probe.cfg.wavefront.by, 14) << c.describe();
+    if (c.cfg.variant == core::Variant::kBaseline)
+      EXPECT_FALSE(probe.cfg.baseline.nontemporal)
+          << "Sec. 1.1: NT stores lose on a cache-resident probe grid — "
+          << c.describe();
+  }
+  // The regression is only real if the full problem enumerated what the
+  // probe had to clip.
+  EXPECT_TRUE(saw_wide_tile);
+  EXPECT_TRUE(saw_nt);
+  EXPECT_TRUE(saw_wavefront);
+}
+
+TEST(Measure, SmallProbeRunsEveryVariantOfABigProblem) {
+  // End-to-end regression for ProbeOptions{.max_extent = 16}: one
+  // candidate per variant, enumerated for 200^3, must probe cleanly on
+  // the capped grid.
+  const topo::MachineSpec m = topo::nehalem_ep();
+  const Problem p = cube(200);
+  ProbeOptions probe;
+  probe.max_extent = 16;
+  probe.min_steps = 2;
+  probe.machine = m;
+  std::vector<std::string> seen;
+  for (const Candidate& c : enumerate_candidates(p, m)) {
+    if (std::find(seen.begin(), seen.end(), c.variant) != seen.end())
+      continue;
+    seen.push_back(c.variant);
+    EXPECT_GT(measure_candidate(c, p, probe), 0.0) << c.describe();
+  }
+  EXPECT_EQ(seen.size(), 4u);  // baseline, pipelined, compressed, wavefront
+}
+
 TEST(Planner, EndToEndWithoutCache) {
   PlanOptions opts;
   opts.machine = topo::nehalem_ep_socket();
@@ -205,11 +287,27 @@ TEST(Planner, EndToEndWithoutCache) {
 
 TEST(Planner, RejectsNonsenseProblems) {
   EXPECT_THROW((void)plan(cube(2)), std::invalid_argument);
-  Problem p = cube(16, "lbm");
+  Problem p = cube(16, "d2q9");  // lbm IS a registry operator now
   EXPECT_THROW((void)plan(p), std::invalid_argument);
   p = cube(16);
   p.variant = "gauss-seidel";
   EXPECT_THROW((void)plan(p), std::invalid_argument);
+}
+
+TEST(Planner, ResolvesPlansForTheNewOperators) {
+  // `--variant auto` must serve lbm and redblack: enumeration, ranking
+  // and probing all handle the new operators end to end.
+  for (const std::string op : {"lbm", "redblack"}) {
+    PlanOptions opts;
+    opts.machine = topo::nehalem_ep_socket();
+    opts.use_cache = false;
+    opts.shortlist_size = 2;
+    opts.probe.max_extent = 12;
+    const Plan pl = plan(cube(12, op), opts);
+    EXPECT_EQ(pl.probes_run, 2) << op;
+    EXPECT_GT(pl.best.measured_mlups, 0.0) << op;
+    EXPECT_NE(pl.best.variant, "reference") << op;
+  }
 }
 
 }  // namespace
