@@ -5,10 +5,21 @@
 // "The amount of data communication per stencil update is roughly the
 // same as for no temporal blocking, except for edge and corner
 // contributions, which only become important on very small subdomains."
+//
+//   $ ./bench_halo [--n 66] [--operator jacobi|varcoef|box27|redblack|lbm]
+//
+// The exchange is operator-aware: lbm ships its 19 distribution fields
+// alongside the density carrier in the same six messages, so its
+// bytes/update are 20x the scalar operators' — the model column charges
+// the same multiplier (perfmodel::operator_traffic().halo_fields) and
+// must stay in step with the measured volume.
 #include <cstdio>
+#include <mutex>
+#include <string>
 
-#include "dist/distributed_jacobi.hpp"
+#include "dist/registry.hpp"
 #include "perfmodel/halo_model.hpp"
+#include "perfmodel/model_api.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -20,9 +31,10 @@ struct Measured {
   double sim_seconds = 0.0;
 };
 
-Measured run_case(int n, int h, int epochs) {
+Measured run_case(const std::string& op, int n, int h, int epochs) {
   tb::core::Grid3 initial(n, n, n);
   tb::core::fill_test_pattern(initial);
+  const tb::core::Grid3 kappa = tb::core::make_slab_kappa(n, n, n);
 
   tb::dist::DistConfig cfg;
   cfg.proc_dims = {2, 2, 2};
@@ -35,8 +47,9 @@ Measured run_case(int n, int h, int epochs) {
   tb::simnet::World world(8);
   std::mutex m;
   world.run([&](tb::simnet::Comm& comm) {
-    tb::dist::DistributedJacobi solver(comm, cfg, initial);
-    const auto st = solver.advance(epochs);
+    auto solver = tb::dist::make_distributed(op, comm, cfg, initial,
+                                             &kappa);
+    const auto st = solver->advance(epochs);
     if (comm.rank() == 0) {  // interior-corner rank: all faces exist
       const std::scoped_lock lock(m);
       out.bytes_per_update =
@@ -54,17 +67,22 @@ Measured run_case(int n, int h, int epochs) {
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
   const int n = static_cast<int>(args.get_int("n", 66));
+  const std::string op = args.get_choice("operator", "jacobi",
+                                         tb::core::registered_operators());
   const int epochs = 2;
 
+  const double field_bytes =
+      8.0 * tb::perfmodel::operator_traffic(op).halo_fields;
+
   std::printf(
-      "=== Halo exchange volume vs h (2x2x2 ranks, %d^3 global, "
-      "executing runtime) ===\n\n",
-      n);
+      "=== Halo exchange volume vs h (2x2x2 ranks, %d^3 global, operator "
+      "%s, %.0f B/halo cell, executing runtime) ===\n\n",
+      n, op.c_str(), field_bytes);
   tb::util::TableWriter t({"h", "msgs/epoch", "bytes/update", "vs h=1",
                            "model bytes/update"});
   double base = 0.0;
   for (int h : {1, 2, 4, 8}) {
-    const Measured m = run_case(n, h, epochs);
+    const Measured m = run_case(op, n, h, epochs);
     if (h == 1) base = m.bytes_per_update;
 
     // Analytic: corner rank owns ~(n-2)/2 cells per dim, 3 faces.
@@ -72,6 +90,7 @@ int main(int argc, char** argv) {
     const double L = (n - 2) / 2.0;
     ep.extent = {L, L, L};
     ep.halo = h;
+    ep.field_bytes = field_bytes;
     ep.neighbors.lo = {false, false, false};
     ep.neighbors.hi = {true, true, true};
     const auto cost = tb::perfmodel::halo_epoch_cost(ep);

@@ -4,13 +4,17 @@
 // against the single-rank run.
 //
 //   $ ./cluster_scaling [--n 66] [--epochs 3] [--T 2] [--t 2]
-//                       [--operator jacobi|varcoef|box27]
+//                       [--operator jacobi|varcoef|box27|redblack|lbm]
 //
 // This is the code path a real MPI deployment would take: domain
 // decomposition, multi-layer halo exchange along x->y->z, per-rank
 // pipelined temporal blocking with shrinking update regions.  The
 // operator is selected through the distributed string registry
-// (dist/registry.hpp), so every registry operator runs decomposed.
+// (dist/registry.hpp), so every registry operator runs decomposed —
+// including lbm, whose 19 distribution fields ride the exchange
+// alongside the density carrier (watch MB sent/rank grow ~20x over
+// jacobi at the same shape).  The kappa aux grid feeds varcoef; lbm
+// here uses its default lid-driven cavity geometry.
 #include <cstdio>
 #include <mutex>
 #include <string>

@@ -4,7 +4,7 @@
 //
 //   $ ./lid_cavity [--n 32] [--steps 400] [--omega 1.2] [--ulid 0.05]
 //                  [--variant pipelined|compressed|wavefront|baseline|auto]
-//                  [--t 2]
+//                  [--t 2] [--ranks 1]
 //
 // A cubic box of fluid, all walls no-slip except the top (z = max) lid
 // moving in +x.  Any scheme of the variant x operator matrix (including
@@ -13,18 +13,54 @@
 // side-channel state provides the flow diagnostics: the classic u_x
 // profile along the vertical center line (recirculation vortex) plus
 // mass conservation.
+//
+// With --ranks N > 1 the same flow runs rank-decomposed on the simnet
+// runtime ("dist:lbm", dist/registry.hpp): the multi-layer halo exchange
+// ships the 19 distribution fields alongside the density carrier, the
+// final lattice is gathered back, and the diagnostics are computed from
+// it — bit-identical to the shared-memory run, whatever the process
+// grid.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "dist/registry.hpp"
 #include "lbm/stencil_op.hpp"
+#include "perfmodel/cluster_model.hpp"  // dims_create
 #include "util/args.hpp"
+
+namespace {
+
+/// Prints the center-line u_x profile and vortex signature from a
+/// lattice (shared by the shared-memory and distributed paths).
+void print_profile(const tb::lbm::Lattice& result, int n, double ulid) {
+  std::printf("u_x / u_lid along the vertical center line:\n");
+  std::printf("%6s  %10s\n", "z/n", "u_x/u_lid");
+  for (int k = 1; k < n - 1; k += std::max(1, (n - 2) / 16)) {
+    const auto u = result.velocity(n / 2, n / 2, k);
+    std::printf("%6.3f  %10.4f\n", static_cast<double>(k) / (n - 1),
+                u[0] / ulid);
+  }
+
+  // The signature of the cavity vortex: forward flow under the lid,
+  // reverse flow near the bottom.
+  const auto top = result.velocity(n / 2, n / 2, n - 2);
+  const auto bottom = result.velocity(n / 2, n / 2, 1 + n / 8);
+  std::printf("\nnear-lid u_x = %.4f, lower-cavity u_x = %.4f %s\n",
+              top[0], bottom[0],
+              (top[0] > 0 && bottom[0] < top[0]) ? "(vortex forming)"
+                                                 : "");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
   const int n = static_cast<int>(args.get_int("n", 32));
   const int steps = static_cast<int>(args.get_int("steps", 400));
   const int t = static_cast<int>(args.get_int("t", 2));
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
 
   tb::core::SolverConfig cfg;
   cfg.lbm.omega = args.get_double("omega", 1.2);
@@ -45,6 +81,46 @@ int main(int argc, char** argv) {
   tb::core::Grid3 initial(n, n, n);
   initial.fill(1.0);
 
+  if (ranks > 1) {
+    // Rank-decomposed run: the distributed solver always runs the
+    // pipelined scheme rank-locally, so --variant does not apply here.
+    tb::dist::DistConfig dcfg;
+    dcfg.proc_dims = tb::perfmodel::dims_create(ranks);
+    dcfg.pipeline = cfg.pipeline;
+    dcfg.lbm = cfg.lbm;
+    const int h = dcfg.pipeline.levels_per_sweep();
+    const int epochs = std::max(1, steps / h);
+
+    tb::core::Grid3 density = initial.clone();
+    std::vector<tb::core::Grid3> fields;
+    tb::dist::run_distributed_named("dist:lbm", ranks, dcfg, initial,
+                                    epochs, &density, nullptr, &fields);
+
+    // Rebuild the gathered final-level lattice for the diagnostics.
+    tb::lbm::Lattice result(n, n, n);
+    for (int q = 0; q < tb::lbm::kQ; ++q)
+      for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < n; ++i)
+            result.f(q).at(i, j, k) =
+                fields[static_cast<std::size_t>(q)].at(i, j, k);
+
+    const tb::lbm::LbmState state0(tb::lbm::Geometry::cavity(n, n, n),
+                                   cfg.lbm, initial);
+    const double mass0 = state0.current(0).total_mass(state0.geometry());
+
+    std::printf(
+        "lid-driven cavity %d^3 (dist:lbm, %d ranks = %dx%dx%d, h = %d), "
+        "omega=%.2f, u_lid=%.3f, %d steps\n",
+        n, ranks, dcfg.proc_dims[0], dcfg.proc_dims[1], dcfg.proc_dims[2],
+        h, cfg.lbm.omega, cfg.lbm.lid_velocity[0], epochs * h);
+    std::printf(
+        "gathered density + 19 distribution fields, mass drift %.2e\n\n",
+        result.total_mass(state0.geometry()) / mass0 - 1.0);
+    print_profile(result, n, cfg.lbm.lid_velocity[0]);
+    return 0;
+  }
+
   tb::core::StencilSolver solver =
       tb::core::make_solver(variant, "lbm", cfg, initial);
   const tb::lbm::LbmState* state = solver.lbm_state();
@@ -61,21 +137,6 @@ int main(int argc, char** argv) {
               st.seconds, st.mlups(),
               result.total_mass(state->geometry()) / mass0 - 1.0);
 
-  std::printf("u_x / u_lid along the vertical center line:\n");
-  std::printf("%6s  %10s\n", "z/n", "u_x/u_lid");
-  for (int k = 1; k < n - 1; k += std::max(1, (n - 2) / 16)) {
-    const auto u = result.velocity(n / 2, n / 2, k);
-    std::printf("%6.3f  %10.4f\n", static_cast<double>(k) / (n - 1),
-                u[0] / cfg.lbm.lid_velocity[0]);
-  }
-
-  // The signature of the cavity vortex: forward flow under the lid,
-  // reverse flow near the bottom.
-  const auto top = result.velocity(n / 2, n / 2, n - 2);
-  const auto bottom = result.velocity(n / 2, n / 2, 1 + n / 8);
-  std::printf("\nnear-lid u_x = %.4f, lower-cavity u_x = %.4f %s\n",
-              top[0], bottom[0],
-              (top[0] > 0 && bottom[0] < top[0]) ? "(vortex forming)"
-                                                 : "");
+  print_profile(result, n, cfg.lbm.lid_velocity[0]);
   return 0;
 }

@@ -1,6 +1,6 @@
 // Distributed pipelined stencil solver on the in-process rank runtime
-// (Sec. 2.1), generic over the StencilOp (constant-coefficient Jacobi or
-// variable-coefficient diffusion).
+// (Sec. 2.1), generic over the StencilOp — every registry operator, from
+// the constant-coefficient Jacobi to the D3Q19 lattice-Boltzmann update.
 //
 // The global grid is block-decomposed over a 3-D Cartesian process grid.
 // Each rank owns a box of interior cells surrounded by a ghost region of
@@ -12,6 +12,16 @@
 // one cell per level — exactly the "shifting the block by one cell in each
 // direction after an update" geometry of the shared-memory scheme, applied
 // at the subdomain boundary.
+//
+// Operators whose real state is wider than the carrier grid pair take
+// part through the state-fields contract (core/stencil_op.hpp
+// StateFieldsTraits): the operator builds a rank-local window of its
+// side-channel fields from the global inputs, and the exchange runs over
+// the carrier *plus every declared field* each epoch — for lbm::LbmOp the
+// base-level 19-component distribution lattice rides the same x -> y -> z
+// slabs (aggregated into the same six messages, D3Q19 reads stay within
+// the 3^3 neighborhood so the deep-halo geometry is unchanged), and
+// gather_state() collects the final-level fields alongside the carrier.
 //
 // Bit compatibility: every cell update evaluates the identical
 // floating-point expression as the naive reference solver, and the ghost
@@ -39,6 +49,7 @@
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"
 #include "core/stencil_op.hpp"
+#include "lbm/stencil_op.hpp"  // LbmConfig + StateFieldsTraits<LbmOp>
 #include "simnet/comm.hpp"
 
 namespace tb::dist {
@@ -49,6 +60,14 @@ struct DistConfig {
   core::PipelineConfig pipeline{};        ///< per-rank pipeline parameters
   double proc_lups = 1.0e9;  ///< modeled per-rank update rate [LUP/s]
   bool overlap = false;      ///< overlap communication with inner updates
+
+  /// Physics parameters of the lbm operator (ignored by all others),
+  /// mirroring SolverConfig::lbm.
+  lbm::LbmConfig lbm{};
+  /// Decode the aux grid as lbm per-cell geometry codes (0 = fluid,
+  /// 1 = wall, 2 = lid) instead of using the default lid-driven cavity —
+  /// the lbm analogue of varcoef's kappa, see SolverConfig.
+  bool lbm_geometry_from_aux = false;
 };
 
 /// Communication volume observed by one rank.
@@ -65,17 +84,21 @@ struct DistStats {
 };
 
 /// Executing distributed solver: one instance per rank, constructed inside
-/// World::run.  `Op` selects the stencil operator; operators with a
-/// material field (VarCoefOp) take the *global* kappa grid and rebuild
-/// their face coefficients from the rank-local window, which yields the
-/// identical IEEE doubles as a global computation (each face coefficient
-/// is a function of the same two kappa values).
+/// World::run.  `Op` selects the stencil operator; `global_aux` carries
+/// the operator's global auxiliary field where one exists — the kappa
+/// material field of VarCoefOp (face coefficients are rebuilt from the
+/// rank-local window, which yields the identical IEEE doubles as a global
+/// computation), the geometry codes of lbm::LbmOp when
+/// cfg.lbm_geometry_from_aux is set.  Operators with read-write
+/// side-channel state (lbm::LbmOp) construct a rank-local state window
+/// through core::StateFieldsTraits and have every declared field
+/// ghost-exchanged alongside the carrier.
 template <class Op = core::JacobiOp>
 class DistributedStencil {
  public:
   DistributedStencil(simnet::Comm& comm, const DistConfig& cfg,
                      const core::Grid3& global_initial,
-                     const core::Grid3* global_kappa = nullptr)
+                     const core::Grid3* global_aux = nullptr)
       : comm_(comm),
         cfg_(cfg),
         topo_(comm.size(), cfg.proc_dims),
@@ -123,13 +146,13 @@ class DistributedStencil {
     b_ = a_.clone();
 
     if constexpr (std::is_same_v<Op, core::VarCoefOp>) {
-      if (global_kappa == nullptr)
+      if (global_aux == nullptr)
         throw std::invalid_argument(
             "DistributedStencil: the varcoef operator needs the global "
             "kappa field");
-      if (global_kappa->nx() != global_n_[0] ||
-          global_kappa->ny() != global_n_[1] ||
-          global_kappa->nz() != global_n_[2])
+      if (global_aux->nx() != global_n_[0] ||
+          global_aux->ny() != global_n_[1] ||
+          global_aux->nz() != global_n_[2])
         throw std::invalid_argument(
             "DistributedStencil: kappa shape must match the global grid");
       // Rank-local kappa window (zero outside the domain, like a_): the
@@ -145,10 +168,25 @@ class DistributedStencil {
                       gk = to_global(k, 2);
             if (gi >= 0 && gi < global_n_[0] && gj >= 0 &&
                 gj < global_n_[1] && gk >= 0 && gk < global_n_[2])
-              local_kappa.at(i, j, k) = global_kappa->at(gi, gj, gk);
+              local_kappa.at(i, j, k) = global_aux->at(gi, gj, gk);
           }
       coeffs_.emplace(local_kappa);
       solver_.emplace(cfg.pipeline, level_clips(), Op{&*coeffs_});
+    } else if constexpr (StateTraits::kHasStateFields) {
+      // State-fields contract (core/stencil_op.hpp): the operator cuts a
+      // rank-local window of its side channel from the global inputs —
+      // for lbm, geometry at the rank window and distributions at the
+      // equilibrium of the local density window (a_), the same bits a
+      // global construction holds at the matching coordinates.  Windows
+      // may reject missing/ill-shaped aux grids; the throw is identical
+      // on every rank (it depends only on global inputs), so no rank can
+      // be left behind in the exchange.
+      core::StateWindowSpec spec;
+      spec.global_n = global_n_;
+      spec.local_n = local_n_;
+      for (int d = 0; d < 3; ++d) spec.origin[d] = own_lo_[d] - halo_;
+      state_.emplace(spec, a_, global_aux, state_params());
+      solver_.emplace(cfg.pipeline, level_clips(), state_->op());
     } else if constexpr (std::is_same_v<Op, core::RedBlackOp>) {
       // The rank-local solver indexes the local window, but the
       // two-color update must color cells by their GLOBAL coordinate
@@ -166,7 +204,7 @@ class DistributedStencil {
     }
   }
 
-  // solver_ holds a pointer into coeffs_ for the varcoef operator.
+  // solver_ holds a pointer into coeffs_ (varcoef) resp. state_ (lbm).
   DistributedStencil(const DistributedStencil&) = delete;
   DistributedStencil& operator=(const DistributedStencil&) = delete;
 
@@ -179,10 +217,15 @@ class DistributedStencil {
     const double inner = cfg_.overlap ? compute_seconds(/*inner_only=*/true)
                                       : 0.0;
     for (int e = 0; e < epochs; ++e) {
+      // The grids whose ghost layers this epoch's updates read: the
+      // base-level carrier plus every state field the operator declares
+      // at the base level (the base parity changes with base_level_, so
+      // the list is rebuilt per epoch).
+      const std::vector<core::Grid3*> grids = exchange_grids();
       if (cfg_.overlap)
-        exchange_halos_overlapped(inner);
+        exchange_halos_overlapped(grids, inner);
       else
-        exchange_halos_sequential();
+        exchange_halos_sequential(grids);
       comm_.compute(full - inner);
       solver_->run(a_, b_, 1, base_level_);
       base_level_ += halo_;
@@ -231,13 +274,76 @@ class DistributedStencil {
     }
   }
 
+  /// Number of read-write side-channel fields the operator declares
+  /// through the state-fields contract (19 for lbm, 0 for carrier-only
+  /// operators).
+  [[nodiscard]] static constexpr int state_field_count() {
+    if constexpr (StateTraits::kHasStateFields)
+      return StateTraits::Window::field_count();
+    else
+      return 0;
+  }
+
+  /// Collects the owned cells of every rank's state fields at the current
+  /// time level into `*out` on the root rank (pass nullptr elsewhere):
+  /// for lbm, the 19 distribution grids of the final level, alongside the
+  /// carrier density of gather().  The vector is resized to
+  /// state_field_count() grids of the global shape with non-owned
+  /// (boundary) cells zero-filled.  Collective; a no-op (clearing root's
+  /// vector) for operators without state fields, so drivers may call it
+  /// unconditionally.
+  void gather_state(std::vector<core::Grid3>* out, int root = 0) {
+    if constexpr (!StateTraits::kHasStateFields) {
+      if (comm_.rank() == root && out != nullptr) out->clear();
+    } else {
+      const auto fields = std::as_const(*state_).fields(base_level_);
+      const std::size_t nf = fields.size();
+      if (comm_.rank() == root) {
+        if (out == nullptr)
+          throw std::invalid_argument(
+              "DistributedStencil: root needs a field vector");
+        out->clear();
+        for (std::size_t f = 0; f < nf; ++f) {
+          out->emplace_back(global_n_[0], global_n_[1], global_n_[2]);
+          out->back().fill(0.0);
+        }
+        for (int r = 0; r < comm_.size(); ++r) {
+          std::array<int, 3> lo, cnt;
+          for (int d = 0; d < 3; ++d)
+            std::tie(lo[d], cnt[d]) = owned_range(d, topo_.coords_of(r)[d]);
+          std::vector<double> buf(static_cast<std::size_t>(cnt[0]) *
+                                  cnt[1] * cnt[2] * nf);
+          if (r == root) {
+            pack_owned_fields(fields, buf);
+          } else {
+            comm_.recv(r, kStateGatherTag, buf);
+          }
+          std::size_t p = 0;
+          for (std::size_t f = 0; f < nf; ++f)
+            for (int k = 0; k < cnt[2]; ++k)
+              for (int j = 0; j < cnt[1]; ++j)
+                for (int i = 0; i < cnt[0]; ++i)
+                  (*out)[f].at(lo[0] + i, lo[1] + j, lo[2] + k) = buf[p++];
+        }
+      } else {
+        std::vector<double> buf(static_cast<std::size_t>(own_[0]) *
+                                own_[1] * own_[2] * nf);
+        pack_owned_fields(fields, buf);
+        comm_.send(root, kStateGatherTag, buf);
+      }
+    }
+  }
+
   [[nodiscard]] int halo() const { return halo_; }
   [[nodiscard]] const std::array<int, 3>& owned_extent() const {
     return own_;
   }
 
  private:
+  using StateTraits = core::StateFieldsTraits<Op>;
+
   static constexpr int kGatherTag = 64;
+  static constexpr int kStateGatherTag = 65;
 
   /// Balanced partition of the global interior along dimension d:
   /// {first owned global index, owned cell count} of process coordinate c.
@@ -261,6 +367,25 @@ class DistributedStencil {
   /// Grid holding the current base time level.
   [[nodiscard]] core::Grid3& current() {
     return base_level_ % 2 == 0 ? a_ : b_;
+  }
+
+  /// Op-specific window construction parameters from the DistConfig.
+  [[nodiscard]] typename StateTraits::Params state_params() const {
+    if constexpr (std::is_same_v<Op, lbm::LbmOp>)
+      return {cfg_.lbm, cfg_.lbm_geometry_from_aux};
+    else
+      return {};
+  }
+
+  /// Everything the next epoch's ghost exchange must refresh: the
+  /// base-level carrier plus the operator's declared state fields at the
+  /// base level.  All fields share the carrier's local shape and
+  /// indexing, so one slab geometry serves the whole list.
+  [[nodiscard]] std::vector<core::Grid3*> exchange_grids() {
+    std::vector<core::Grid3*> grids{&current()};
+    if constexpr (StateTraits::kHasStateFields)
+      for (core::Grid3* f : state_->fields(base_level_)) grids.push_back(f);
+    return grids;
   }
 
   /// Per-level update regions in local coordinates: level s may update
@@ -303,12 +428,14 @@ class DistributedStencil {
     return static_cast<double>(cells) / cfg_.proc_lups;
   }
 
-  /// Multi-layer halo exchange of the base-level grid, x -> y -> z.  The
+  /// Multi-layer halo exchange of the base-level grids, x -> y -> z.  The
   /// slab sent along dimension d spans the already-refreshed full extents
   /// of dimensions < d, which carries edge and corner data in 2-3 hops —
-  /// 6 messages per interior rank per epoch, the paper's scheme.
-  void exchange_halos_sequential() {
-    core::Grid3& g = current();
+  /// 6 messages per interior rank per epoch, the paper's scheme.  All
+  /// exchanged fields of one face travel aggregated in one message, so
+  /// the message count is operator-independent and only the bytes scale
+  /// with the operator's state width.
+  void exchange_halos_sequential(const std::vector<core::Grid3*>& grids) {
     for (int d = 0; d < 3; ++d) {
       std::array<int, 3> lo{0, 0, 0}, hi{local_n_[0], local_n_[1],
                                          local_n_[2]};
@@ -331,7 +458,7 @@ class DistributedStencil {
         slo[d] = side == 0 ? halo_ : own_[d];
         shi[d] = slo[d] + halo_;
         std::vector<double> buf;
-        pack(g, slo, shi, buf);
+        pack(grids, slo, shi, buf);
         comm_.send(nb, face_tag(d, side), buf);
       }
       for (int side = 0; side < 2; ++side) {
@@ -340,9 +467,9 @@ class DistributedStencil {
         std::array<int, 3> rlo = lo, rhi = hi;
         rlo[d] = side == 0 ? 0 : halo_ + own_[d];
         rhi[d] = rlo[d] + halo_;
-        std::vector<double> buf(box_cells(rlo, rhi));
+        std::vector<double> buf(box_cells(rlo, rhi) * grids.size());
         comm_.recv(nb, face_tag(d, 1 - side), buf);
-        unpack(g, rlo, rhi, buf);
+        unpack(grids, rlo, rhi, buf);
       }
     }
   }
@@ -355,8 +482,8 @@ class DistributedStencil {
   /// receives exactly the same base-level doubles as the sequential
   /// scheme (corner data travels directly instead of in two hops), so the
   /// result stays bit-identical.
-  void exchange_halos_overlapped(double inner_seconds) {
-    core::Grid3& g = current();
+  void exchange_halos_overlapped(const std::vector<core::Grid3*>& grids,
+                                 double inner_seconds) {
     std::vector<std::array<int, 3>> dirs;
     for (int vz = -1; vz <= 1; ++vz)
       for (int vy = -1; vy <= 1; ++vy)
@@ -381,7 +508,7 @@ class DistributedStencil {
         }
       }
       std::vector<double> buf;
-      pack(g, lo, hi, buf);
+      pack(grids, lo, hi, buf);
       comm_.isend(diag_neighbor(v), dir_tag(v), buf);
     }
     comm_.compute(inner_seconds);
@@ -400,11 +527,11 @@ class DistributedStencil {
                                        : halo_ + own_[d] + 1;
         }
       }
-      std::vector<double> buf(box_cells(lo, hi));
+      std::vector<double> buf(box_cells(lo, hi) * grids.size());
       // The neighbour tagged its message with the direction from *its*
       // perspective, which is -v.
       comm_.recv(diag_neighbor(v), dir_tag({-v[0], -v[1], -v[2]}), buf);
-      unpack(g, lo, hi, buf);
+      unpack(grids, lo, hi, buf);
     }
   }
 
@@ -434,22 +561,28 @@ class DistributedStencil {
            static_cast<std::size_t>(hi[2] - lo[2]);
   }
 
-  static void pack(const core::Grid3& g, const std::array<int, 3>& lo,
+  /// Serializes the box [lo, hi) of every grid, field-major (all cells of
+  /// grid 0, then grid 1, ...).  unpack() must mirror the order exactly.
+  static void pack(const std::vector<core::Grid3*>& grids,
+                   const std::array<int, 3>& lo,
                    const std::array<int, 3>& hi, std::vector<double>& buf) {
-    buf.resize(box_cells(lo, hi));
+    buf.resize(box_cells(lo, hi) * grids.size());
     std::size_t p = 0;
-    for (int k = lo[2]; k < hi[2]; ++k)
-      for (int j = lo[1]; j < hi[1]; ++j)
-        for (int i = lo[0]; i < hi[0]; ++i) buf[p++] = g.at(i, j, k);
+    for (const core::Grid3* g : grids)
+      for (int k = lo[2]; k < hi[2]; ++k)
+        for (int j = lo[1]; j < hi[1]; ++j)
+          for (int i = lo[0]; i < hi[0]; ++i) buf[p++] = g->at(i, j, k);
   }
 
-  static void unpack(core::Grid3& g, const std::array<int, 3>& lo,
+  static void unpack(const std::vector<core::Grid3*>& grids,
+                     const std::array<int, 3>& lo,
                      const std::array<int, 3>& hi,
                      const std::vector<double>& buf) {
     std::size_t p = 0;
-    for (int k = lo[2]; k < hi[2]; ++k)
-      for (int j = lo[1]; j < hi[1]; ++j)
-        for (int i = lo[0]; i < hi[0]; ++i) g.at(i, j, k) = buf[p++];
+    for (core::Grid3* g : grids)
+      for (int k = lo[2]; k < hi[2]; ++k)
+        for (int j = lo[1]; j < hi[1]; ++j)
+          for (int i = lo[0]; i < hi[0]; ++i) g->at(i, j, k) = buf[p++];
   }
 
   void pack_owned(const core::Grid3& g, std::vector<double>& buf) const {
@@ -458,6 +591,19 @@ class DistributedStencil {
       for (int j = 0; j < own_[1]; ++j)
         for (int i = 0; i < own_[0]; ++i)
           buf[p++] = g.at(halo_ + i, halo_ + j, halo_ + k);
+  }
+
+  /// Owned cells of every state field, field-major — the gather_state
+  /// analogue of pack_owned.
+  template <class FieldRange>
+  void pack_owned_fields(const FieldRange& fields,
+                         std::vector<double>& buf) const {
+    std::size_t p = 0;
+    for (const core::Grid3* f : fields)
+      for (int k = 0; k < own_[2]; ++k)
+        for (int j = 0; j < own_[1]; ++j)
+          for (int i = 0; i < own_[0]; ++i)
+            buf[p++] = f->at(halo_ + i, halo_ + j, halo_ + k);
   }
 
   simnet::Comm& comm_;
@@ -473,6 +619,9 @@ class DistributedStencil {
   core::Grid3 a_, b_;
   int base_level_ = 0;
   std::optional<core::DiffusionCoefficients> coeffs_;  // varcoef only
+  /// Rank-local window of the operator's side-channel state (lbm only;
+  /// empty struct for operators without state fields).
+  std::optional<typename StateTraits::Window> state_;
   std::optional<core::PipelinedSolver<Op>> solver_;
 };
 
@@ -482,16 +631,18 @@ using DistributedJacobi = DistributedStencil<core::JacobiOp>;
 /// Convenience driver: runs the distributed solver on a fresh World and
 /// gathers the final state into `*out` (which must be pre-sized to the
 /// global shape and already hold the boundary values, e.g. a clone of the
-/// initial grid).  `kappa` supplies the material field for operators that
-/// need one (required for VarCoefOp, ignored by JacobiOp).
+/// initial grid).  `aux` supplies the global auxiliary field for
+/// operators that take one (kappa, required, for VarCoefOp; geometry
+/// codes for lbm::LbmOp with lbm_geometry_from_aux; ignored by the
+/// rest).
 template <class Op = core::JacobiOp>
 inline void run_distributed(int ranks, const DistConfig& cfg,
                             const core::Grid3& initial, int epochs,
                             core::Grid3* out,
-                            const core::Grid3* kappa = nullptr) {
+                            const core::Grid3* aux = nullptr) {
   simnet::World world(ranks);
   world.run([&](simnet::Comm& comm) {
-    DistributedStencil<Op> solver(comm, cfg, initial, kappa);
+    DistributedStencil<Op> solver(comm, cfg, initial, aux);
     solver.advance(epochs);
     // gather() is collective and internally race-free: only the root rank
     // writes *out, every other rank just sends.

@@ -5,7 +5,7 @@
 // matrix with the same strings as the shared-memory one.
 //
 // The variant-string convention is a "dist:" prefix on the operator
-// ("dist:jacobi", "dist:varcoef", "dist:box27"): the distributed solver
+// ("dist:jacobi", "dist:varcoef", "dist:lbm"): the distributed solver
 // always runs the pipelined scheme rank-locally (its per-level shrink
 // into the ghost layers is the pipelined geometry), so the operator is
 // the axis that varies.
@@ -30,6 +30,14 @@ class AnyDistributed {
   virtual ~AnyDistributed() = default;
   virtual DistStats advance(int epochs) = 0;
   virtual void gather(core::Grid3* out, int root) = 0;
+  /// Read-write side-channel fields the operator declares through the
+  /// state-fields contract (19 distribution grids for "lbm", 0 for the
+  /// carrier-only operators).
+  [[nodiscard]] virtual int state_field_count() const = 0;
+  /// Gathers those fields at the current time level into `*out` on the
+  /// root rank (see DistributedStencil::gather_state).  Collective; a
+  /// no-op clearing root's vector when state_field_count() == 0.
+  virtual void gather_state(std::vector<core::Grid3>* out, int root) = 0;
   [[nodiscard]] virtual int halo() const = 0;
 };
 
@@ -39,12 +47,18 @@ template <class Op>
 class DistributedModel final : public AnyDistributed {
  public:
   DistributedModel(simnet::Comm& comm, const DistConfig& cfg,
-                   const core::Grid3& initial, const core::Grid3* kappa)
-      : impl_(comm, cfg, initial, kappa) {}
+                   const core::Grid3& initial, const core::Grid3* aux)
+      : impl_(comm, cfg, initial, aux) {}
 
   DistStats advance(int epochs) override { return impl_.advance(epochs); }
   void gather(core::Grid3* out, int root) override {
     impl_.gather(out, root);
+  }
+  [[nodiscard]] int state_field_count() const override {
+    return DistributedStencil<Op>::state_field_count();
+  }
+  void gather_state(std::vector<core::Grid3>* out, int root) override {
+    impl_.gather_state(out, root);
   }
   [[nodiscard]] int halo() const override { return impl_.halo(); }
 
@@ -64,10 +78,25 @@ class DistributedModel final : public AnyDistributed {
   return is_dist_variant(name) ? name.substr(5) : name;
 }
 
+/// One-line auxiliary-field requirement of a registry operator, for error
+/// messages and CLIs ("" for operators that take none).  The aux grid is
+/// the `kappa`/`aux` argument of make_distributed: the material field of
+/// "varcoef" (always required), the per-cell geometry codes of "lbm"
+/// (required when DistConfig::lbm_geometry_from_aux is set; the default
+/// lid-driven cavity needs none).
+[[nodiscard]] inline std::string_view dist_aux_requirement(
+    std::string_view op) {
+  const std::string_view bare = dist_operator(op);
+  if (bare == "varcoef") return "requires the global kappa aux grid";
+  if (bare == "lbm")
+    return "takes geometry-code aux (required with lbm_geometry_from_aux)";
+  return "";
+}
+
 /// All registered distributed variant names ("dist:" x operators).
-/// Registered is not yet constructible for every entry: "dist:lbm"
-/// throws from make_distributed until the multi-field halo exchange
-/// lands (see ROADMAP) — callers sweeping this list must expect it.
+/// Every listed name is constructible through make_distributed with the
+/// same arguments — operators with an auxiliary field document it via
+/// dist_aux_requirement() and fail loudly when it is missing.
 [[nodiscard]] inline std::vector<std::string> registered_dist_variants() {
   std::vector<std::string> names;
   for (const std::string& op : core::registered_operators())
@@ -76,13 +105,16 @@ class DistributedModel final : public AnyDistributed {
 }
 
 /// Constructs the distributed solver for a registry operator name (bare
-/// "jacobi" or prefixed "dist:jacobi").  `kappa` is the *global*
-/// material field, required by "varcoef" and ignored by the stateless
-/// operators.  Throws std::invalid_argument on unknown names or a
-/// missing kappa.
+/// "jacobi" or prefixed "dist:jacobi").  `aux` is the operator's *global*
+/// auxiliary per-cell field where one exists: the kappa material field of
+/// "varcoef" (required), the geometry codes of "lbm" when
+/// cfg.lbm_geometry_from_aux is set (required then; the default
+/// lid-driven cavity geometry needs none) — the stateless operators
+/// ignore it.  Throws std::invalid_argument on unknown names or a
+/// missing/ill-shaped aux field.
 [[nodiscard]] inline std::unique_ptr<AnyDistributed> make_distributed(
     std::string_view op, simnet::Comm& comm, const DistConfig& cfg,
-    const core::Grid3& initial, const core::Grid3* kappa = nullptr) {
+    const core::Grid3& initial, const core::Grid3* aux = nullptr) {
   const std::string_view bare = dist_operator(op);
   if (bare == "jacobi")
     return std::make_unique<detail::DistributedModel<core::JacobiOp>>(
@@ -91,12 +123,12 @@ class DistributedModel final : public AnyDistributed {
     return std::make_unique<detail::DistributedModel<core::Box27Op>>(
         comm, cfg, initial, nullptr);
   if (bare == "varcoef") {
-    if (kappa == nullptr)
+    if (aux == nullptr)
       throw std::invalid_argument(
           "make_distributed: operator 'varcoef' needs the global kappa "
           "field");
     return std::make_unique<detail::DistributedModel<core::VarCoefOp>>(
-        comm, cfg, initial, kappa);
+        comm, cfg, initial, aux);
   }
   if (bare == "redblack")
     // The two-color operator carries its whole state in the solution
@@ -107,19 +139,24 @@ class DistributedModel final : public AnyDistributed {
     return std::make_unique<detail::DistributedModel<core::RedBlackOp>>(
         comm, cfg, initial, nullptr);
   if (bare == "lbm")
-    // Registered name, honest failure: the lbm operator's state is its
-    // 19 distribution lattices, and DistributedStencil exchanges only
-    // the scalar carrier — a rank-decomposed run would stream stale
-    // ghost distributions and break bit compatibility.  Multi-field
-    // halo exchange is the open ROADMAP item for distributed LBM.
-    throw std::invalid_argument(
-        "make_distributed: operator 'lbm' is not yet rank-decomposable "
-        "(the ghost exchange transports the density carrier only, not "
-        "the 19 distribution fields; see ROADMAP)");
+    // The lbm operator's real state is its 19 distribution lattices plus
+    // geometry flags.  The state-fields contract
+    // (core::StateFieldsTraits<lbm::LbmOp>) cuts a rank-local window of
+    // them, the epoch exchange transports the base-level lattice
+    // alongside the density carrier, and gather_state() collects the
+    // final-level distributions — the decomposed run is bit-identical to
+    // the single-rank one.  Geometry is derived per rank from the global
+    // aux codes (cfg.lbm_geometry_from_aux) or the default lid-driven
+    // cavity; a missing or ill-shaped aux grid throws from the window.
+    return std::make_unique<detail::DistributedModel<lbm::LbmOp>>(
+        comm, cfg, initial, aux);
   std::ostringstream os;
   os << "unknown distributed operator '" << bare << "' (valid:";
-  for (const std::string& name : registered_dist_variants())
+  for (const std::string& name : registered_dist_variants()) {
     os << " " << name;
+    const std::string_view req = dist_aux_requirement(name);
+    if (!req.empty()) os << " [" << req << "]";
+  }
   os << ")";
   throw std::invalid_argument(os.str());
 }
@@ -127,18 +164,24 @@ class DistributedModel final : public AnyDistributed {
 /// Convenience driver mirroring run_distributed for registry names:
 /// runs `epochs` epochs on a fresh `ranks`-rank World and gathers the
 /// final state into `*out` (pre-sized to the global shape, boundary
-/// already present).
+/// already present).  `state_out`, when non-null, additionally receives
+/// the operator's gathered state fields (the final-level distribution
+/// lattice for "lbm"; left empty for carrier-only operators).
 inline void run_distributed_named(std::string_view op, int ranks,
                                   const DistConfig& cfg,
                                   const core::Grid3& initial, int epochs,
                                   core::Grid3* out,
-                                  const core::Grid3* kappa = nullptr) {
+                                  const core::Grid3* aux = nullptr,
+                                  std::vector<core::Grid3>* state_out =
+                                      nullptr) {
   simnet::World world(ranks);
   world.run([&](simnet::Comm& comm) {
     std::unique_ptr<AnyDistributed> solver =
-        make_distributed(op, comm, cfg, initial, kappa);
+        make_distributed(op, comm, cfg, initial, aux);
     solver->advance(epochs);
     solver->gather(comm.rank() == 0 ? out : nullptr, 0);
+    if (state_out != nullptr)
+      solver->gather_state(comm.rank() == 0 ? state_out : nullptr, 0);
   });
 }
 

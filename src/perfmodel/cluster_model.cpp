@@ -129,6 +129,7 @@ ClusterResult evaluate_cluster(const ClusterRun& run,
     ep.halo = run.halo;
     ep.lups = run.proc_lups;
     ep.neighbors = mask;
+    ep.field_bytes = run.field_bytes;
     ep.link = params.ib;          // placeholder; comm recomputed below
     const EpochCost work = halo_epoch_cost(ep);
     const double comp = work.comp;
@@ -144,7 +145,7 @@ ClusterResult evaluate_cluster(const ClusterRun& run,
       const double area = (d == 0 ? expanded[1] * expanded[2]
                           : d == 1 ? expanded[0] * expanded[2]
                                    : expanded[0] * expanded[1]);
-      const double bytes = 8.0 * run.halo * area;
+      const double bytes = run.field_bytes * run.halo * area;
       for (int s = 0; s < 2; ++s) {
         const FaceInfo& f = faces[du][static_cast<std::size_t>(s)];
         if (!f.exists) continue;

@@ -45,6 +45,10 @@ struct ClusterRun {
   bool weak = false;         ///< false: grid^3 total; true: grid^3 per proc
   int halo = 1;              ///< layers exchanged per epoch (h = n*t*T)
   double proc_lups = 2.0e9;  ///< per-process update rate [LUP/s]
+  /// Bytes exchanged per halo cell, aggregated over every field riding
+  /// the exchange (see EpochParams::field_bytes): 8 for the scalar
+  /// operators, 20 * 8 for lbm's carrier + 19 distributions.
+  double field_bytes = 8.0;
   /// Overlap the wire time with computation (Sec. 3 outlook): the epoch
   /// costs pack + max(compute, transfer) instead of their sum.
   bool overlap = false;

@@ -34,7 +34,7 @@ EpochCost halo_epoch_cost(const EpochParams& p) {
     const double area = (d == 0 ? expanded[1] * expanded[2]
                         : d == 1 ? expanded[0] * expanded[2]
                                  : expanded[0] * expanded[1]);
-    const double bytes = 8.0 * h * area;
+    const double bytes = p.field_bytes * h * area;
     const int faces = p.neighbors.count(d);
     comm += faces * p.link.message_time(bytes);
     out.bytes_sent += faces * bytes;

@@ -54,6 +54,12 @@ struct EpochParams {
   NeighborMask neighbors{};  ///< which faces exist
   double pack_overhead = 0.0;  ///< extra fraction of transfer time spent
                                ///< copying to/from message buffers
+  /// Bytes exchanged per halo cell, aggregated over every field riding
+  /// the exchange: 8 (one double) for the scalar operators, 20 * 8 for
+  /// lbm's carrier + distributions — set it from
+  /// operator_traffic(op).halo_fields * 8 so epoch times and byte counts
+  /// track what the executing solver actually sends.
+  double field_bytes = 8.0;
 };
 
 /// Outputs: seconds per epoch, split into computation and communication.

@@ -39,6 +39,14 @@ struct OperatorTraffic {
   double mem_bytes_nt = 24.0;  ///< with streaming stores (= mem_bytes if none)
   double aux_bytes = 0.0;      ///< read-only per-cell auxiliary fields
 
+  /// Per-cell doubles a distributed ghost exchange transports per halo
+  /// layer: the carrier plus every read-write state field the operator
+  /// declares (core::StateFieldsTraits).  1 for the carrier-only
+  /// operators; 20 for lbm (carrier + 19 distributions — the geometry
+  /// flags are rebuilt rank-locally from global inputs, never wired).
+  /// The halo/cluster models multiply their 8 B/cell messages by this.
+  double halo_fields = 1.0;
+
   /// Cache-resident state per in-flight block, as a multiple of the
   /// carrier block's bytes (the `block_bytes` the capacity gate is fed).
   /// 1.0 is the historic Jacobi calibration; operators whose update
@@ -68,6 +76,7 @@ struct OperatorTraffic {
     t.mem_bytes = 19 * 24.0 + 24.0;
     t.mem_bytes_nt = t.mem_bytes;
     t.aux_bytes = 1.0;
+    t.halo_fields = 20.0;  // density carrier + 19 distribution fields
     // In-flight state per cell: both parities of the 19 distributions
     // plus both carrier grids plus one geometry byte, relative to the
     // 8 B/cell carrier block the capacity gate is fed.

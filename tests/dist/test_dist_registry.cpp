@@ -45,7 +45,6 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
   const int steps = epochs * cfg.pipeline.levels_per_sweep();
 
   for (const std::string& op : core::registered_operators()) {
-    if (op == "lbm") continue;  // see NotYetDecomposableOperatorsThrow
     core::SolverConfig ref_cfg;
     core::StencilSolver ref =
         core::make_solver("reference", op, ref_cfg, initial, &kappa);
@@ -65,23 +64,62 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
   }
 }
 
-TEST(DistRegistry, NotYetDecomposableOperatorsThrow) {
-  // "dist:lbm" is a registered name but the ghost exchange transports
-  // only the scalar carrier, not the 19 distribution fields; until the
-  // multi-field halo lands (ROADMAP), construction fails loudly instead
-  // of silently streaming stale ghost distributions.
-  const core::Grid3 initial = make_initial(12);
+TEST(DistRegistry, LbmConstructsAndExposesItsStateFields) {
+  // The state-fields contract makes "dist:lbm" constructible like every
+  // other registered name: with the default lid-driven cavity geometry no
+  // aux grid is needed at all (exactly like the shared-memory facade).
+  core::Grid3 initial(12, 12, 12);
+  initial.fill(1.0);
   DistConfig cfg;
   cfg.pipeline.team_size = 1;
   simnet::World world(1);
   world.run([&](simnet::Comm& comm) {
+    std::unique_ptr<AnyDistributed> solver =
+        make_distributed("dist:lbm", comm, cfg, initial);
+    EXPECT_EQ(solver->state_field_count(), 19);
+    solver->advance(2);
+    core::Grid3 density = initial.clone();
+    std::vector<core::Grid3> lattices;
+    solver->gather(&density, 0);
+    solver->gather_state(&lattices, 0);
+    ASSERT_EQ(lattices.size(), 19u);
+    // Carrier-only operators report an empty state, same collective call.
+    std::unique_ptr<AnyDistributed> jacobi =
+        make_distributed("jacobi", comm, cfg, initial);
+    EXPECT_EQ(jacobi->state_field_count(), 0);
+    std::vector<core::Grid3> none{};
+    jacobi->gather_state(&none, 0);
+    EXPECT_TRUE(none.empty());
+  });
+}
+
+TEST(DistRegistry, LbmMissingOrIllShapedGeometryAuxThrows) {
+  // Mirrors varcoef's missing-kappa contract: when the config asks for
+  // aux-decoded geometry, a missing or wrongly shaped aux grid fails
+  // loudly with a message naming the requirement.
+  const core::Grid3 initial = make_initial(12);
+  DistConfig cfg;
+  cfg.pipeline.team_size = 1;
+  cfg.lbm_geometry_from_aux = true;
+  simnet::World world(1);
+  world.run([&](simnet::Comm& comm) {
     try {
       (void)make_distributed("dist:lbm", comm, cfg, initial);
-      FAIL() << "dist:lbm must not construct";
+      FAIL() << "missing geometry aux grid must not construct";
     } catch (const std::invalid_argument& err) {
-      EXPECT_NE(std::string(err.what()).find("distribution"),
+      EXPECT_NE(std::string(err.what()).find("geometry"),
                 std::string::npos);
     }
+    core::Grid3 ill_shaped(8, 8, 8);
+    ill_shaped.fill(1.0);
+    EXPECT_THROW((void)make_distributed("dist:lbm", comm, cfg, initial,
+                                        &ill_shaped),
+                 std::invalid_argument);
+    core::Grid3 garbage(12, 12, 12);
+    garbage.fill(0.5);  // not a valid 0/1/2 geometry code
+    EXPECT_THROW((void)make_distributed("dist:lbm", comm, cfg, initial,
+                                        &garbage),
+                 std::invalid_argument);
   });
 }
 
@@ -91,10 +129,15 @@ TEST(DistRegistry, BadNamesAndMissingKappaThrow) {
   cfg.pipeline.team_size = 1;
   simnet::World world(1);
   world.run([&](simnet::Comm& comm) {
-    EXPECT_THROW((void)make_distributed("lbm", comm, cfg, initial),
-                 std::invalid_argument);
-    EXPECT_THROW((void)make_distributed("dist:gauss", comm, cfg, initial),
-                 std::invalid_argument);
+    try {
+      (void)make_distributed("dist:gauss", comm, cfg, initial);
+      FAIL() << "unknown operator must not construct";
+    } catch (const std::invalid_argument& err) {
+      // The listing names each operator's aux-field requirement.
+      const std::string what = err.what();
+      EXPECT_NE(what.find("kappa"), std::string::npos);
+      EXPECT_NE(what.find("geometry"), std::string::npos);
+    }
     EXPECT_THROW((void)make_distributed("varcoef", comm, cfg, initial),
                  std::invalid_argument);
   });

@@ -4,6 +4,7 @@
 
 #include "perfmodel/cluster_model.hpp"
 #include "perfmodel/halo_model.hpp"
+#include "perfmodel/model_api.hpp"
 #include "perfmodel/single_cache_model.hpp"
 
 namespace tb::perfmodel {
@@ -163,6 +164,31 @@ TEST(HaloModel, PackOverheadScalesComm) {
   const double base = halo_epoch_cost(p).comm;
   p.pack_overhead = 1.0;
   EXPECT_DOUBLE_EQ(halo_epoch_cost(p).comm, 2.0 * base);
+}
+
+TEST(HaloModel, FieldBytesScaleVolumeNotMessages) {
+  // Per-operator state multiplier: lbm's carrier + 19 distribution
+  // fields travel aggregated in the same messages, so modeled bytes
+  // scale 20x while the latency term (message count) stays put.
+  EpochParams p;
+  p.extent = {50, 50, 50};
+  p.halo = 2;
+  const EpochCost scalar = halo_epoch_cost(p);
+  p.field_bytes = 8.0 * operator_traffic("lbm").halo_fields;
+  const EpochCost lbm = halo_epoch_cost(p);
+  EXPECT_DOUBLE_EQ(lbm.bytes_sent, 20.0 * scalar.bytes_sent);
+  EXPECT_DOUBLE_EQ(lbm.comp, scalar.comp);  // work is per update, not per byte
+  // comm = 6 * (latency + bytes/bw): only the bandwidth term scales.
+  const double latency_total = 6.0 * p.link.latency;
+  EXPECT_NEAR(lbm.comm - latency_total,
+              20.0 * (scalar.comm - latency_total), 1e-12);
+}
+
+TEST(HaloModel, OperatorHaloFieldsTable) {
+  EXPECT_DOUBLE_EQ(operator_traffic("jacobi").halo_fields, 1.0);
+  EXPECT_DOUBLE_EQ(operator_traffic("varcoef").halo_fields, 1.0);
+  EXPECT_DOUBLE_EQ(operator_traffic("redblack").halo_fields, 1.0);
+  EXPECT_DOUBLE_EQ(operator_traffic("lbm").halo_fields, 20.0);
 }
 
 // ---- Fig. 6 cluster model ----------------------------------------------

@@ -239,10 +239,11 @@ TEST(Measure, ProjectsFullProblemSchedulesOntoTheProbeGrid) {
     EXPECT_LE(probe.cfg.baseline.block.by, 14) << c.describe();
     EXPECT_LE(probe.cfg.baseline.block.bz, 14) << c.describe();
     EXPECT_LE(probe.cfg.wavefront.by, 14) << c.describe();
-    if (c.cfg.variant == core::Variant::kBaseline)
+    if (c.cfg.variant == core::Variant::kBaseline) {
       EXPECT_FALSE(probe.cfg.baseline.nontemporal)
           << "Sec. 1.1: NT stores lose on a cache-resident probe grid — "
           << c.describe();
+    }
   }
   // The regression is only real if the full problem enumerated what the
   // probe had to clip.
