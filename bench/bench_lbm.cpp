@@ -9,11 +9,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "lbm/stencil_op.hpp"
+#include "perfmodel/model_api.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
+#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -79,24 +82,73 @@ int main(int argc, char** argv) {
     ref.advance(steps);
 
     bool all_ok = true;
-    for (const std::string& v : tb::core::registered_variants()) {
-      if (v == "reference") continue;
-      tb::core::StencilSolver solver =
-          tb::core::make_solver(v, "lbm", cfg, initial);
-      solver.advance(steps);
-      double diff =
-          tb::core::max_abs_diff(solver.solution(), ref.solution());
-      diff = std::max(
-          diff, solver.lbm_state()->current(steps).max_abs_diff(
-                    ref.lbm_state()->current(steps)));
-      std::printf("\nhost cross-check %-10s (16^3 cavity, %d levels): "
-                  "max |diff| = %g %s",
-                  v.c_str(), steps, diff,
-                  diff == 0.0 ? "(bit-identical)" : "(MISMATCH!)");
-      all_ok = all_ok && diff == 0.0;
+    for (const char* op : {"lbm", "lbm:aa"}) {
+      for (const std::string& v : tb::core::registered_variants()) {
+        if (v == "reference" && std::string(op) == "lbm") continue;
+        tb::core::StencilSolver solver =
+            tb::core::make_solver(v, op, cfg, initial);
+        solver.advance(steps);
+        double diff =
+            tb::core::max_abs_diff(solver.solution(), ref.solution());
+        diff = std::max(
+            diff, solver.lbm_state()->current(steps).max_abs_diff(
+                      ref.lbm_state()->current(steps)));
+        std::printf("\nhost cross-check %-10s %-6s (16^3 cavity, %d "
+                    "levels): max |diff| = %g %s",
+                    v.c_str(), op, steps, diff,
+                    diff == 0.0 ? "(bit-identical)" : "(MISMATCH!)");
+        all_ok = all_ok && diff == 0.0;
+      }
     }
     std::printf("\n");
     if (!all_ok) return 1;
+  }
+
+  // Host storage-policy throughput: one lattice updated in place (AA
+  // pattern) versus the two-lattice ping-pong, same baseline schedule.
+  // The modeled traffic drops from 480+8 to 328+8 bytes/LUP, so the AA
+  // rows should land well above the two-lattice ones on any
+  // memory-bound host.  Emitted as BENCH_lbm.json for the CI perf gate.
+  {
+    const int hn = static_cast<int>(args.get_int("host_n", 64));
+    const int hsteps = static_cast<int>(args.get_int("host_steps", 8));
+    const int threads = static_cast<int>(args.get_int("threads", 2));
+    tb::core::Grid3 initial(hn, hn, hn);
+    initial.fill(1.0);
+    tb::core::SolverConfig cfg;
+    cfg.lbm.lid_velocity = {0.05, 0, 0};
+    cfg.baseline.threads = threads;
+    cfg.baseline.block = {hn, 8, 8};
+
+    std::printf("\n=== storage policy, host baseline run (%d^3, %d "
+                "steps, %d threads) ===\n",
+                hn, hsteps, threads);
+    tb::util::TableWriter st(
+        {"storage", "MLUP/s (host)", "bytes/LUP (model)"});
+    std::vector<tb::util::BenchEntry> report;
+    double two = 0.0, aa = 0.0;
+    for (const char* op : {"lbm", "lbm:aa"}) {
+      const tb::perfmodel::OperatorTraffic traffic =
+          tb::perfmodel::operator_traffic(op);
+      const double bpl = traffic.mem_bytes + traffic.aux_bytes;
+      tb::core::StencilSolver solver =
+          tb::core::make_solver("baseline", op, cfg, initial);
+      solver.advance(1);  // warm-up: faults the lattices in
+      // Best over >= 3 reps and >= 0.5 s of samples: steal time on a
+      // shared host only ever subtracts from a throughput measurement.
+      double best = 0.0, spent = 0.0;
+      for (int rep = 0; rep < 3 || spent < 0.5; ++rep) {
+        const tb::core::RunStats st = solver.advance(hsteps);
+        best = std::max(best, st.mlups());
+        spent += st.seconds;
+      }
+      (std::string(op) == "lbm" ? two : aa) = best;
+      st.add(op, best, bpl);
+      report.push_back({std::string("baseline/") + op, bpl, best});
+    }
+    st.print();
+    std::printf("AA speedup over two-lattice: %.2fx\n", aa / two);
+    tb::util::write_bench_json("lbm", report);
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 // amortized over the team-sweep depth for the temporally blocked
 // variants; the varcoef operator streams its six coefficient fields once
 // per team sweep on top.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -33,6 +34,23 @@ int sweep_depth(const SolverConfig& cfg) {
     case Variant::kWavefront: return cfg.wavefront.threads;
     default: return 1;
   }
+}
+
+// Steal time on shared runners swamps a single-shot timing of the fast
+// combinations (one 64^3 Jacobi sweep-set is a few milliseconds), so each
+// measurement repeats until it has accumulated `min_seconds` of samples
+// (at least three) and keeps the best — the usual practice for a
+// throughput metric, where interference only ever subtracts.
+double best_mlups(StencilSolver& solver, int steps, double min_seconds) {
+  double best = 0.0, spent = 0.0;
+  int reps = 0;
+  while (reps < 3 || spent < min_seconds) {
+    const RunStats st = solver.advance(steps);
+    best = std::max(best, st.mlups());
+    spent += st.seconds;
+    ++reps;
+  }
+  return best;
 }
 
 double model_bytes_per_lup(const SolverConfig& cfg,
@@ -112,13 +130,18 @@ int main(int argc, char** argv) {
       StencilSolver solver = make_solver(vname, opname, cfg, initial,
                                          &kappa);
       const RunStats st = solver.advance(steps);
+      // Bit-identity is checked at exactly `steps` levels; the repeated
+      // timing advances below keep stepping the same solver, which does
+      // not disturb throughput.
       const bool ok =
           max_abs_diff(solver.solution(), ref.solution()) == 0.0;
       all_ok = all_ok && ok;
+      const double mlups =
+          std::max(st.mlups(), best_mlups(solver, steps, 0.5));
 
       const double bpl = model_bytes_per_lup(solver.config(), opname);
-      t.add(vname, opname, st.mlups(), bpl, ok ? "yes" : "NO");
-      report.push_back({vname + "/" + opname, bpl, st.mlups()});
+      t.add(vname, opname, mlups, bpl, ok ? "yes" : "NO");
+      report.push_back({vname + "/" + opname, bpl, mlups});
     }
   }
   t.print();

@@ -19,6 +19,7 @@
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"  // RunStats
 #include "core/stencil_op.hpp"
+#include "core/sync.hpp"  // SpinBarrier
 #include "topo/placement.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -53,14 +54,68 @@ class BaselineSolver {
   }
 
   /// Runs `steps` sweeps; `a` holds the starting level (global index
-  /// `base_level`, even levels live in `a`).  Implicit barrier per sweep.
+  /// `base_level`, even levels live in `a`).  The whole step loop runs
+  /// inside ONE thread-pool dispatch with a spin barrier between sweeps:
+  /// a condition-variable fork/join per sweep costs more than a small
+  /// sweep itself and used to bury the baseline an order of magnitude
+  /// below the single-threaded reference at bench sizes.
   RunStats run(Grid3& a, Grid3& b, int steps, int base_level = 0) {
     Grid3* grids[2] = {&a, &b};
     RunStats stats;
     util::Timer timer;
-    for (int s = 0; s < steps; ++s) {
-      const int global = base_level + s + 1;  // level being produced
-      sweep(*grids[(global + 1) % 2], *grids[global % 2], global);
+    if (steps > 0) {
+      // Interior extent and tile grid over (j, k); x is swept in bx
+      // chunks inside each tile to keep the inner loop long.
+      const int j0 = 1, j1 = ny_ - 1;
+      const int k0 = 1, k1 = nz_ - 1;
+      const int tiles_j = (j1 - j0 + cfg_.block.by - 1) / cfg_.block.by;
+      const int tiles_k = (k1 - k0 + cfg_.block.bz - 1) / cfg_.block.bz;
+      const long long tiles = 1LL * tiles_j * tiles_k;
+      const int workers = pool_.size();
+      const bool nt = cfg_.nontemporal && Op::kHasNontemporal &&
+                      nontemporal_supported();
+      SpinBarrier barrier(workers);
+
+      pool_.run([&, this](int w) {
+        // Static contiguous partition of the tile list: matches the
+        // first-touch initialization so each thread updates "its" pages.
+        const long long lo = tiles * w / workers;
+        const long long hi = tiles * (w + 1) / workers;
+        for (int s = 0; s < steps; ++s) {
+          const int global = base_level + s + 1;  // level being produced
+          const Grid3& src = *grids[(global + 1) % 2];
+          Grid3& dst = *grids[global % 2];
+          for (long long t = lo; t < hi; ++t) {
+            const int tj = static_cast<int>(t % tiles_j);
+            const int tk = static_cast<int>(t / tiles_j);
+            const int ja = j0 + tj * cfg_.block.by;
+            const int jb = std::min(ja + cfg_.block.by, j1);
+            const int ka = k0 + tk * cfg_.block.bz;
+            const int kb = std::min(ka + cfg_.block.bz, k1);
+            for (int k = ka; k < kb; ++k)
+              for (int j = ja; j < jb; ++j) {
+                for (int ia = 1; ia < nx_ - 1; ia += cfg_.block.bx) {
+                  const int ib = std::min(ia + cfg_.block.bx, nx_ - 1);
+                  if (nt) {
+                    op_.row_nt(dst.row(j, k), src.row(j, k),
+                               src.row(j - 1, k), src.row(j + 1, k),
+                               src.row(j, k - 1), src.row(j, k + 1),
+                               global, j, k, ia, ib);
+                  } else {
+                    op_.row(dst.row(j, k), src.row(j, k),
+                            src.row(j - 1, k), src.row(j + 1, k),
+                            src.row(j, k - 1), src.row(j, k + 1), global,
+                            j, k, ia, ib);
+                  }
+                }
+              }
+          }
+          // Streaming stores must be globally visible before the
+          // barrier's release edge publishes the sweep.
+          if (nt) nontemporal_fence();
+          barrier.arrive_and_wait();
+        }
+      });
     }
     stats.seconds = timer.elapsed();
     stats.levels = steps;
@@ -82,52 +137,6 @@ class BaselineSolver {
   [[nodiscard]] const BaselineConfig& config() const { return cfg_; }
 
  private:
-  void sweep(const Grid3& src, Grid3& dst, int level) {
-    // Interior extent and tile grid over (j, k); x is swept in bx chunks
-    // inside each tile to keep the inner loop long.
-    const int j0 = 1, j1 = ny_ - 1;
-    const int k0 = 1, k1 = nz_ - 1;
-    const int tiles_j = (j1 - j0 + cfg_.block.by - 1) / cfg_.block.by;
-    const int tiles_k = (k1 - k0 + cfg_.block.bz - 1) / cfg_.block.bz;
-    const long long tiles = 1LL * tiles_j * tiles_k;
-    const int workers = pool_.size();
-    const bool nt =
-        cfg_.nontemporal && Op::kHasNontemporal && nontemporal_supported();
-
-    pool_.run([&, this](int w) {
-      // Static contiguous partition of the tile list: matches the
-      // first-touch initialization so each thread updates "its" pages.
-      const long long lo = tiles * w / workers;
-      const long long hi = tiles * (w + 1) / workers;
-      const Grid3& s = src;
-      Grid3& d = dst;
-      for (long long t = lo; t < hi; ++t) {
-        const int tj = static_cast<int>(t % tiles_j);
-        const int tk = static_cast<int>(t / tiles_j);
-        const int ja = j0 + tj * cfg_.block.by;
-        const int jb = std::min(ja + cfg_.block.by, j1);
-        const int ka = k0 + tk * cfg_.block.bz;
-        const int kb = std::min(ka + cfg_.block.bz, k1);
-        for (int k = ka; k < kb; ++k)
-          for (int j = ja; j < jb; ++j) {
-            for (int ia = 1; ia < nx_ - 1; ia += cfg_.block.bx) {
-              const int ib = std::min(ia + cfg_.block.bx, nx_ - 1);
-              if (nt) {
-                op_.row_nt(d.row(j, k), s.row(j, k), s.row(j - 1, k),
-                           s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                           level, j, k, ia, ib);
-              } else {
-                op_.row(d.row(j, k), s.row(j, k), s.row(j - 1, k),
-                        s.row(j + 1, k), s.row(j, k - 1), s.row(j, k + 1),
-                        level, j, k, ia, ib);
-              }
-            }
-          }
-      }
-      if (nt) nontemporal_fence();
-    });
-  }
-
   BaselineConfig cfg_;
   Op op_;
   int nx_, ny_, nz_;

@@ -45,7 +45,7 @@ const std::vector<std::string>& registered_variants() {
 
 const std::vector<std::string>& registered_operators() {
   static const std::vector<std::string> kNames{"jacobi", "varcoef", "box27",
-                                               "redblack", "lbm"};
+                                               "redblack", "lbm", "lbm:aa"};
   return kNames;
 }
 
@@ -104,11 +104,24 @@ bool apply_operator(SolverConfig& cfg, std::string_view name) {
   } else if (name == "redblack") {
     cfg.op = Operator::kRedBlack;
   } else if (name == "lbm") {
+    // Deliberately leaves cfg.lbm_storage untouched: "lbm" names the
+    // operator, the storage policy is a config knob (the tuner probes
+    // candidates whose cfg carries either policy under this one name).
     cfg.op = Operator::kLbm;
+  } else if (name == "lbm:aa") {
+    cfg.op = Operator::kLbm;
+    cfg.lbm_storage = lbm::LbmStorage::kAA;
   } else {
     return false;
   }
   return true;
+}
+
+std::string operator_name(const SolverConfig& cfg) {
+  if (cfg.op == Operator::kLbm &&
+      cfg.lbm_storage == lbm::LbmStorage::kAA)
+    return "lbm:aa";
+  return to_string(cfg.op);
 }
 
 std::string variant_name(const SolverConfig& cfg) {
@@ -122,8 +135,8 @@ std::string variant_name(const SolverConfig& cfg) {
 void configure_from_args(SolverConfig& cfg, const util::Args& args) {
   const std::string variant = args.get_choice("variant", variant_name(cfg),
                                               selectable_variants());
-  const std::string op =
-      args.get_choice("operator", to_string(cfg.op), registered_operators());
+  const std::string op = args.get_choice("operator", operator_name(cfg),
+                                         registered_operators());
   apply_variant(cfg, variant);  // validated by get_choice
   apply_operator(cfg, op);
 }

@@ -8,7 +8,11 @@
 //
 //   reference | baseline | pipelined | compressed | wavefront
 //     x
-//   jacobi | varcoef | box27 | redblack | lbm
+//   jacobi | varcoef | box27 | redblack | lbm | lbm:aa
+//
+// "lbm:aa" is the lbm operator under the in-place AA storage policy
+// (SolverConfig::lbm_storage) — same physics, half the lattice bytes;
+// shared-memory only (the dist registry rejects it).
 //
 // The registry is the single source of truth for the names: the
 // examples' --variant/--operator flags, the autotuner's validation
@@ -53,6 +57,10 @@ bool apply_operator(SolverConfig& cfg, std::string_view name);
 /// Registry name of the configured variant ("compressed" when the
 /// pipelined variant uses the compressed-grid scheme).
 [[nodiscard]] std::string variant_name(const SolverConfig& cfg);
+
+/// Registry name of the configured operator ("lbm:aa" when the lbm
+/// operator uses the in-place AA storage policy).
+[[nodiscard]] std::string operator_name(const SolverConfig& cfg);
 
 /// Applies the standard --variant / --operator command-line flags to a
 /// config.  Throws std::invalid_argument naming the valid choices when a

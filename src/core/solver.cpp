@@ -29,6 +29,9 @@ struct OpState {
   [[nodiscard]] Op make() { return Op{}; }
   void set_level_base(int /*base*/) {}
   [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
+  /// Cells one level actually updates, or -1 for "every interior cell"
+  /// (the geometry-oblivious operators).
+  [[nodiscard]] long long updates_per_level() const { return -1; }
 };
 
 template <>
@@ -37,6 +40,7 @@ struct OpState<VarCoefOp> {
   [[nodiscard]] VarCoefOp make() { return VarCoefOp{&coeffs}; }
   void set_level_base(int /*base*/) {}
   [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
+  [[nodiscard]] long long updates_per_level() const { return -1; }
 };
 
 template <>
@@ -45,6 +49,7 @@ struct OpState<RedBlackOp> {
   [[nodiscard]] RedBlackOp make() { return RedBlackOp{&origin}; }
   void set_level_base(int base) { origin.base = base; }
   [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
+  [[nodiscard]] long long updates_per_level() const { return -1; }
 };
 
 template <>
@@ -53,6 +58,11 @@ struct OpState<lbm::LbmOp> {
   [[nodiscard]] lbm::LbmOp make() { return lbm::LbmOp{&state}; }
   void set_level_base(int base) { state.origin.base = base; }
   [[nodiscard]] const lbm::LbmState* lbm() const { return &state; }
+  /// Solid cells only copy the carrier through — MLUP/s counts the
+  /// fluid cells that run a real stream-collide update.
+  [[nodiscard]] long long updates_per_level() const {
+    return state.fluid_interior_cells();
+  }
 };
 
 }  // namespace
@@ -178,6 +188,10 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
         break;
       }
     }
+    // Geometry-aware operators report the updates they actually perform
+    // (the schemes themselves count every interior cell).
+    const long long upl = state_.updates_per_level();
+    if (upl >= 0) total.cell_updates = upl * total.levels;
     return total;
   }
 
@@ -244,7 +258,7 @@ lbm::LbmState default_lbm_state(const SolverConfig& cfg,
                                 const Grid3& initial) {
   return lbm::LbmState(
       lbm::Geometry::cavity(initial.nx(), initial.ny(), initial.nz()),
-      cfg.lbm, initial);
+      cfg.lbm, initial, cfg.lbm_storage);
 }
 
 }  // namespace
@@ -300,7 +314,7 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
         cfg, initial,
         OpState<lbm::LbmOp>{
             lbm::LbmState(lbm::geometry_from_codes(kappa), cfg.lbm,
-                          initial)});
+                          initial, cfg.lbm_storage)});
     return;
   }
   impl_ = std::make_unique<OpImpl<VarCoefOp>>(

@@ -81,6 +81,13 @@ struct SolverConfig {
   /// Physics parameters of Operator::kLbm (ignored by all others).
   lbm::LbmConfig lbm{};
 
+  /// Distribution storage policy of Operator::kLbm: the two-lattice
+  /// ping-pong (default) or the in-place AA pattern ("lbm:aa" in the
+  /// registry), which halves lattice bytes per update.  AA requires a
+  /// fully solid outer layer (the default cavity qualifies) and is
+  /// shared-memory only.
+  lbm::LbmStorage lbm_storage = lbm::LbmStorage::kTwoLattice;
+
   /// Geometry of Operator::kLbm.  Default: the lid-driven cavity (closed
   /// box, moving top lid) derived from the grid shape — no auxiliary
   /// field needed, so `--operator lbm` works wherever jacobi does.  When

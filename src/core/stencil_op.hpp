@@ -160,6 +160,7 @@ struct VarCoefOp {
     const double* cyp = coeffs->face(3).row(j, k);
     const double* czm = coeffs->face(4).row(j, k);
     const double* czp = coeffs->face(5).row(j, k);
+    TB_IVDEP
     for (int i = i0; i < i1; ++i) {
       const double denom =
           cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
@@ -183,6 +184,7 @@ struct VarCoefOp {
     const double* cyp = coeffs->face(3).row(j, k);
     const double* czm = coeffs->face(4).row(j, k);
     const double* czp = coeffs->face(5).row(j, k);
+    TB_IVDEP
     for (int i = i1 - 1; i >= i0; --i) {
       const double denom =
           cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
@@ -252,6 +254,11 @@ struct Box27Op {
     const double* kmjp = km + up;
     const double* kpjm = kp + dn;
     const double* kpjp = kp + up;
+    // TB_IVDEP is sound despite the compressed-scheme aliasing: within a
+    // row every aliased location is read only at iterations at-or-before
+    // the one that overwrites it (write-after-read), and vectorization
+    // only moves reads earlier and writes later, which preserves WAR.
+    TB_IVDEP
     for (int i = i0; i < i1; ++i)
       dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
   }
@@ -266,6 +273,7 @@ struct Box27Op {
     const double* kmjp = km + up;
     const double* kpjm = kp + dn;
     const double* kpjp = kp + up;
+    TB_IVDEP  // same WAR-only argument as row(), mirrored for descending i
     for (int i = i1 - 1; i >= i0; --i)
       dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
   }

@@ -56,6 +56,36 @@ class Backoff {
   std::uint32_t spins_ = 0;
 };
 
+/// Sense-reversing spin barrier for workers that stay resident across
+/// many sweeps (BaselineSolver runs its whole step loop inside ONE
+/// thread-pool dispatch; a condition-variable round trip per sweep costs
+/// more than a small sweep itself).  The release store of the generation
+/// bump publishes every grid write of the finishing sweep; the acquire
+/// loads of the waiters pair with it.  Spinning goes through Backoff, so
+/// oversubscribed hosts degrade to yields instead of starving the last
+/// arriver.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    Backoff backoff;
+    while (generation_.load(std::memory_order_acquire) == gen)
+      backoff.pause();
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  alignas(util::kCacheLineBytes) std::atomic<std::uint64_t> generation_{0};
+};
+
 /// One progress counter per pipeline thread, each on its own cache line to
 /// avoid false sharing (the paper places each c_i "in a cache line of its
 /// own").

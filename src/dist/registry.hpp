@@ -97,10 +97,14 @@ class DistributedModel final : public AnyDistributed {
 /// Every listed name is constructible through make_distributed with the
 /// same arguments — operators with an auxiliary field document it via
 /// dist_aux_requirement() and fail loudly when it is missing.
+/// ':'-qualified storage-policy aliases ("lbm:aa") are skipped: they are
+/// shared-memory only (the AA stream step pushes into the ghost ring,
+/// which the read-only state-fields halo cannot transport back), so no
+/// distributed counterpart exists.
 [[nodiscard]] inline std::vector<std::string> registered_dist_variants() {
   std::vector<std::string> names;
   for (const std::string& op : core::registered_operators())
-    names.push_back("dist:" + op);
+    if (op.find(':') == std::string::npos) names.push_back("dist:" + op);
   return names;
 }
 
@@ -116,6 +120,12 @@ class DistributedModel final : public AnyDistributed {
     std::string_view op, simnet::Comm& comm, const DistConfig& cfg,
     const core::Grid3& initial, const core::Grid3* aux = nullptr) {
   const std::string_view bare = dist_operator(op);
+  if (bare == "lbm:aa")
+    throw std::invalid_argument(
+        "make_distributed: 'lbm:aa' is shared-memory only — the AA "
+        "stream step pushes distributions INTO the ghost ring, which the "
+        "read-only state-fields halo contract cannot transport back; run "
+        "'dist:lbm' (two-lattice) instead");
   if (bare == "jacobi")
     return std::make_unique<detail::DistributedModel<core::JacobiOp>>(
         comm, cfg, initial, nullptr);

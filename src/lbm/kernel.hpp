@@ -10,10 +10,22 @@
 // Every update evaluates the identical floating-point expression for a
 // given cell and level, so (as with the Jacobi solvers) any correctly
 // scheduled variant is bit-identical to the naive reference — the property
-// the equivalence tests assert.  stream_collide_cell() is the single
-// source of that expression: the naive box sweep below and the LbmOp row
-// kernels (lbm/stencil_op.hpp) both call it.
+// the equivalence tests assert.  collide() below is the single source of
+// the moment/collision expression: the naive stream_collide_cell(), the
+// masked row kernel the LbmOp schemes run, and both storage policies
+// (two-lattice ping-pong and in-place AA) all feed their pulled f_in
+// through it, so the policies differ only in WHERE distributions are read
+// and written, never in the arithmetic.
+//
+// The per-q geometry branch of the naive kernel is hoisted into a
+// precomputed per-cell bit mask (cell_mask): bit q says "neighbor x - e_q
+// is solid", bit 19+q says "that neighbor is the moving lid", bit 63 says
+// "the cell itself is solid".  Interior rows of the lid-driven cavity are
+// mask == 0 almost everywhere, so the row kernel's common case is 19
+// branchless row loads.
 #pragma once
+
+#include <cstdint>
 
 #include "core/blocks.hpp"
 #include "lbm/lattice.hpp"
@@ -31,6 +43,158 @@ struct LbmConfig {
       throw std::invalid_argument("LbmConfig: omega must be in (0, 2)");
   }
 };
+
+/// Moments + BGK collision of one cell's pulled distributions, in place:
+/// f[q] <- f[q] - omega (f[q] - f_eq[q](rho, u)).  Returns the density.
+/// The accumulation order is THE canonical one — every caller inherits
+/// bit-identical arithmetic from this function.
+///
+/// Hand-unrolled over the constant D3Q19 velocity set: the first moment
+/// is pure adds/subs (components are 0/±1), the three per-cell divisions
+/// collapse into one reciprocal, and opposite velocity pairs share their
+/// equilibrium even/odd parts: with  a = w rho (1 - 1.5u^2 + 4.5 (e.u)^2)
+/// and  b = w rho 3 (e.u),  f_eq(+e) = a + b and f_eq(-e) = a - b.  This
+/// roughly halves the collision flops — raising the bandwidth-per-update
+/// pressure that the storage policies are measured under.
+inline double collide(const LbmConfig& cfg, std::array<double, kQ>& f) {
+  const double rho = f[0] + f[1] + f[2] + f[3] + f[4] + f[5] + f[6] +
+                     f[7] + f[8] + f[9] + f[10] + f[11] + f[12] + f[13] +
+                     f[14] + f[15] + f[16] + f[17] + f[18];
+  const double mx = f[1] - f[2] + f[7] - f[8] + f[9] - f[10] + f[11] -
+                    f[12] + f[13] - f[14];
+  const double my = f[3] - f[4] + f[7] - f[8] - f[9] + f[10] + f[15] -
+                    f[16] + f[17] - f[18];
+  const double mz = f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] -
+                    f[16] - f[17] + f[18];
+  const double inv_rho = 1.0 / rho;
+  const double ux = mx * inv_rho, uy = my * inv_rho, uz = mz * inv_rho;
+  const double base = 1.0 - 1.5 * (ux * ux + uy * uy + uz * uz);
+  const double wr_axis = (1.0 / 18.0) * rho;
+  const double wr_diag = (1.0 / 36.0) * rho;
+  const double om = cfg.omega;
+  const auto relax = [om](double& fq, double feq) {
+    fq -= om * (fq - feq);
+  };
+  relax(f[0], (1.0 / 3.0) * rho * base);
+  const auto pair = [base, &relax](double& fp, double& fm, double wr,
+                                   double eu) {
+    const double a = wr * (base + 4.5 * (eu * eu));
+    const double b = wr * (3.0 * eu);
+    relax(fp, a + b);
+    relax(fm, a - b);
+  };
+  pair(f[1], f[2], wr_axis, ux);
+  pair(f[3], f[4], wr_axis, uy);
+  pair(f[5], f[6], wr_axis, uz);
+  pair(f[7], f[8], wr_diag, ux + uy);
+  pair(f[9], f[10], wr_diag, ux - uy);
+  pair(f[11], f[12], wr_diag, ux + uz);
+  pair(f[13], f[14], wr_diag, ux - uz);
+  pair(f[15], f[16], wr_diag, uy + uz);
+  pair(f[17], f[18], wr_diag, uy - uz);
+  return rho;
+}
+
+/// Per-direction momentum terms of the moving wall, precomputed once per
+/// solver: t[q] = 6 w_q rho0 (e_q . u_lid) — the exact product the naive
+/// kernel forms inline, so adding it is bit-identical.
+struct LidTerms {
+  std::array<double, kQ> t{};
+  LidTerms() = default;
+  explicit LidTerms(const LbmConfig& cfg) {
+    for (int q = 0; q < kQ; ++q) {
+      const auto& e = kVelocities[static_cast<std::size_t>(q)];
+      const auto& u = cfg.lid_velocity;
+      t[static_cast<std::size_t>(q)] =
+          6.0 * kWeights[static_cast<std::size_t>(q)] * cfg.rho0 *
+          (e[0] * u[0] + e[1] * u[1] + e[2] * u[2]);
+    }
+  }
+};
+
+/// Geometry mask bit for "the cell itself is solid".
+inline constexpr std::uint64_t kMaskSolid = 1ull << 63;
+
+/// Precomputed geometry mask of one cell: bit q (0..18) = neighbor
+/// x - e_q is solid, bit 19+q = that neighbor is the lid, bit 63 = the
+/// cell itself is solid (masking everything else).  The rest direction
+/// q = 0 never sets a bit (its "neighbor" is the cell itself).
+[[nodiscard]] inline std::uint64_t cell_mask(const Geometry& geo, int i,
+                                             int j, int k) {
+  if (geo.at(i, j, k) != Cell::kFluid) return kMaskSolid;
+  std::uint64_t m = 0;
+  for (int q = 1; q < kQ; ++q) {
+    const auto& e = kVelocities[static_cast<std::size_t>(q)];
+    const Cell neighbor = geo.at(i - e[0], j - e[1], k - e[2]);
+    if (neighbor != Cell::kFluid) {
+      m |= 1ull << q;
+      if (neighbor == Cell::kLid) m |= 1ull << (19 + q);
+    }
+  }
+  return m;
+}
+
+/// Row pointer bundle of the masked kernel.  The three storage/step
+/// flavors differ only in how these rows are wired:
+///   fl[q] + i  — where fin[q] of cell i is read when x - e_q is fluid
+///   bb[q] + i  — where fin[q] is read instead when x - e_q is solid
+///   out[q] + i — where the post-collision fout[q] of cell i is written
+/// Two-lattice pull:  fl[q] = src_q(.. - e_q), bb[q] = src_opp(q)(x),
+///                    out[q] = dst_q(x).
+/// AA local (odd):    fl[q] = A_q(x),          bb[q] = A_opp(q)(x - e_q),
+///                    out[q] = A_opp(q)(x).
+/// AA stream (even):  fl[q] = A_opp(q)(x - e_q), bb[q] = A_q(x),
+///                    out[q] = A_q(x + e_q).
+struct LatticeRow {
+  std::array<const double*, kQ> fl{};
+  std::array<const double*, kQ> bb{};
+  std::array<double*, kQ> out{};
+};
+
+/// One masked stream-collide row over cells i0..i1 of the carrier rows
+/// (dst, c): fluid cells pull/collide/write through the bundle and store
+/// their density into dst[i]; solid cells copy the carrier through and
+/// leave every lattice slot untouched.  Each cell reads all 19 fin before
+/// writing any fout, which is what makes the in-place AA wirings (where
+/// out[] aliases fl[]/bb[]) correct.  Traversal direction is a template
+/// parameter because the compressed scheme's carrier aliasing dictates
+/// the i order; the lattice writes themselves are order-independent.
+template <bool Reverse>
+inline void masked_stream_collide_row(const LbmConfig& cfg,
+                                      const LidTerms& lid,
+                                      const std::uint64_t* mask,
+                                      const LatticeRow& r, double* dst,
+                                      const double* c, int i0, int i1) {
+  const auto cell = [&](int i) {
+    const std::uint64_t m = mask[i];
+    if (m & kMaskSolid) {
+      dst[i] = c[i];
+      return;
+    }
+    std::array<double, kQ> f;
+    if (m == 0) {
+      for (int q = 0; q < kQ; ++q)
+        f[static_cast<std::size_t>(q)] = r.fl[static_cast<std::size_t>(q)][i];
+    } else {
+      for (int q = 0; q < kQ; ++q) {
+        const std::size_t uq = static_cast<std::size_t>(q);
+        if ((m >> q) & 1ull)
+          f[uq] = (m >> (19 + q)) & 1ull ? r.bb[uq][i] + lid.t[uq]
+                                         : r.bb[uq][i];
+        else
+          f[uq] = r.fl[uq][i];
+      }
+    }
+    dst[i] = collide(cfg, f);
+    for (int q = 0; q < kQ; ++q)
+      r.out[static_cast<std::size_t>(q)][i] = f[static_cast<std::size_t>(q)];
+  };
+  if constexpr (Reverse) {
+    for (int i = i1 - 1; i >= i0; --i) cell(i);
+  } else {
+    for (int i = i0; i < i1; ++i) cell(i);
+  }
+}
 
 /// One stream-collide update of the *fluid* cell (i, j, k): writes the 19
 /// post-collision distributions into `dst` and returns the cell's density
@@ -59,26 +223,10 @@ inline double stream_collide_cell(const Geometry& geo, const LbmConfig& cfg,
     }
   }
 
-  // 2. Moments.
-  double rho = 0.0, ux = 0.0, uy = 0.0, uz = 0.0;
-  for (int q = 0; q < kQ; ++q) {
-    const double fq = fin[static_cast<std::size_t>(q)];
-    const auto& e = kVelocities[static_cast<std::size_t>(q)];
-    rho += fq;
-    ux += fq * e[0];
-    uy += fq * e[1];
-    uz += fq * e[2];
-  }
-  ux /= rho;
-  uy /= rho;
-  uz /= rho;
-
-  // 3. BGK collision.
-  for (int q = 0; q < kQ; ++q) {
-    const double feq = equilibrium(q, rho, ux, uy, uz);
-    const double fq = fin[static_cast<std::size_t>(q)];
-    dst.f(q).at(i, j, k) = fq - cfg.omega * (fq - feq);
-  }
+  // 2+3. Moments and BGK collision (the shared canonical expression).
+  const double rho = collide(cfg, fin);
+  for (int q = 0; q < kQ; ++q)
+    dst.f(q).at(i, j, k) = fin[static_cast<std::size_t>(q)];
   return rho;
 }
 

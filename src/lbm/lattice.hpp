@@ -200,4 +200,22 @@ class Lattice {
   return kQ * 16.0;
 }
 
+/// Distribution storage policy of the stream-collide update.
+enum class LbmStorage {
+  /// Two full lattices, ping-ponged by time-level parity (pull scheme).
+  kTwoLattice,
+  /// One lattice updated in place (AA pattern): even absolute levels
+  /// leave the distributions streamed one hop along their direction,
+  /// odd levels leave them cell-local under the opposite direction
+  /// index.  Halves resident lattice bytes and, because every loaded
+  /// line is also the store target, avoids the write-allocate stream.
+  kAA,
+};
+
+/// In-place AA storage: 19 loads + 19 stores per update, but the stores
+/// hit lines the loads already own, so no write-allocate traffic.
+[[nodiscard]] constexpr double bytes_per_update_aa() {
+  return kQ * 16.0;
+}
+
 }  // namespace tb::lbm

@@ -12,22 +12,47 @@
 // geometry flags live in an LbmState side channel the operator indexes
 // with the LOGICAL (i, j, k) — the same mechanism VarCoefOp uses for its
 // face-coefficient fields, extended from read-only coefficients to
-// read-write state.  The side-channel lattices are a plain two-lattice
-// ping-pong indexed by the ABSOLUTE time-level parity, so they are
-// oblivious to how the carrier is stored: the compressed scheme's
-// drifting window shifts only the carrier, never the distributions.
+// read-write state.  Two storage policies lay the distributions out:
+//
+//  * kTwoLattice — a plain ping-pong indexed by the ABSOLUTE time-level
+//    parity.  Lattice L%2 holds level L; the side channel is oblivious
+//    to how the carrier is stored.
+//  * kAA — ONE lattice updated in place (the AA pattern).  Odd absolute
+//    levels are produced by a purely cell-local step that reads the
+//    streamed arrangement left by the previous even level (A_q(x) holds
+//    level-even f_q(x - e_q)) and writes each fout[q] into the opposite
+//    slot A_opp(q)(x); even levels are produced by a stream step that
+//    pulls from the reversed slots of the neighbours
+//    (fin[q] = A_opp(q)(x - e_q)) and pushes fout[q] to A_q(x + e_q).
+//    Pushes into solid neighbours are deliberate: they park exactly the
+//    value the next local step's bounce-back read A_opp(q)(x - e_q)
+//    picks up.  Storage is halved and every store hits a line the
+//    update already loaded, so the write-allocate stream disappears
+//    (lbm::bytes_per_update_aa).
 //
 // Why any scheme schedule is correct for the side channel: every scheme
 // in this library maintains the two-grid invariant that a cell is
 // advanced to level L only when all 3^3 neighbours hold level L-1 and no
-// neighbour has passed L (adjacent levels differ by at most one) — this
-// is exactly what makes them bit-identical for Jacobi/Box27, and it is
-// exactly the safety condition of the lattice ping-pong: writing a
-// cell's level-L distributions overwrites its level-(L-2) values, whose
-// last readers were the neighbours' updates to L-1.  The engine's
+// neighbour has passed L (adjacent levels differ by at most one).  For
+// the ping-pong this is the classic argument: writing a cell's level-L
+// distributions overwrites its level-(L-2) values, whose last readers
+// were the neighbours' updates to L-1.  For AA the same invariant
+// suffices: the local step writes only its own cell's slots, and the
+// stream step's push into slot (q, x + e_q) is safe because the only
+// level-L reader of that slot is cell x itself (fin[opp(q)] of x's own
+// update — which reads all 19 slots before writing any), and its only
+// writer is x, so neither another cell's concurrent update nor a
+// reversed row traversal can observe a half-updated slot.  The engine's
 // release/acquire progress counters (core/sync.hpp) provide the
-// happens-before edges for the side-channel writes, as they did for the
-// retired PipelinedLbm engine client.
+// happens-before edges for the side-channel writes.
+//
+// The AA constraint: the outermost layer must be fully solid.  A fluid
+// boundary cell would never be updated, freezing its slots while the
+// interior's alternate between arrangements — the constructor rejects
+// such geometries.  The distributed layer cannot run AA at all (the
+// stream step pushes INTO the ghost ring, which the read-only halo
+// contract of StateFieldsTraits cannot transport back), so the state
+// window refuses the policy and dist names reject it up front.
 //
 // The carrier holds the fluid density: level 0 is the caller's initial
 // grid (interpreted as the initial density; the distributions start at
@@ -39,8 +64,12 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "core/stencil_op.hpp"
 #include "lbm/kernel.hpp"
@@ -72,115 +101,295 @@ namespace tb::lbm {
   return geo;
 }
 
-/// The operator's side-channel state: geometry flags, BGK parameters and
-/// the two-lattice distribution ping-pong (lattice L%2 holds the
-/// distributions of time level L).  The LevelOrigin turns the schemes'
+/// The operator's side-channel state: geometry flags (plus their
+/// precomputed per-cell bounce-back masks), BGK parameters and the
+/// distribution storage — the two-lattice ping-pong or the in-place AA
+/// lattice, per LbmStorage.  The LevelOrigin turns the schemes'
 /// run-local level argument into the absolute level; the StencilSolver
 /// facade bumps it between phases.
 class LbmState {
  public:
-  /// `initial_density` supplies the level-0 density per cell; both
-  /// lattices start at the zero-velocity equilibrium of that density
-  /// (non-positive values — unphysical for LBM — fall back to cfg.rho0,
-  /// so pattern-filled probe grids stay finite).
+  /// `initial_density` supplies the level-0 density per cell; the
+  /// distributions start at the zero-velocity equilibrium of that
+  /// density (non-positive values — unphysical for LBM — fall back to
+  /// cfg.rho0, so pattern-filled probe grids stay finite).
   LbmState(Geometry geo, const LbmConfig& cfg,
-           const core::Grid3& initial_density)
+           const core::Grid3& initial_density,
+           LbmStorage storage = LbmStorage::kTwoLattice)
       : geo_(std::move(geo)),
         cfg_(cfg),
-        even_(initial_density.nx(), initial_density.ny(),
-              initial_density.nz()),
-        odd_(initial_density.nx(), initial_density.ny(),
-             initial_density.nz()) {
+        storage_(storage),
+        lid_(cfg) {
     cfg_.validate();
-    if (geo_.nx() != initial_density.nx() ||
-        geo_.ny() != initial_density.ny() ||
-        geo_.nz() != initial_density.nz())
+    const int nx = initial_density.nx(), ny = initial_density.ny(),
+              nz = initial_density.nz();
+    if (geo_.nx() != nx || geo_.ny() != ny || geo_.nz() != nz)
       throw std::invalid_argument(
           "LbmState: geometry shape must match the initial grid");
-    for (int k = 0; k < geo_.nz(); ++k)
-      for (int j = 0; j < geo_.ny(); ++j)
-        for (int i = 0; i < geo_.nx(); ++i) {
-          const double rho0 = initial_density.at(i, j, k);
-          const double rho = rho0 > 0.0 ? rho0 : cfg_.rho0;
-          for (int q = 0; q < kQ; ++q) {
-            const double feq = equilibrium(q, rho, 0.0, 0.0, 0.0);
-            even_.f(q).at(i, j, k) = feq;
-            odd_.f(q).at(i, j, k) = feq;
-          }
+
+    // Geometry masks (interior cells; the outermost layer is never
+    // updated, its entries only mark it solid for the row kernels) and
+    // the fluid-cell count the throughput accounting reports.
+    masks_.assign(static_cast<std::size_t>(nx) * ny * nz, kMaskSolid);
+    for (int k = 1; k < nz - 1; ++k)
+      for (int j = 1; j < ny - 1; ++j)
+        for (int i = 1; i < nx - 1; ++i) {
+          const std::uint64_t m = cell_mask(geo_, i, j, k);
+          masks_[(static_cast<std::size_t>(k) * ny + j) * nx + i] = m;
+          if (!(m & kMaskSolid)) ++fluid_interior_;
         }
+
+    if (storage_ == LbmStorage::kTwoLattice) {
+      even_.emplace(nx, ny, nz);
+      odd_.emplace(nx, ny, nz);
+      for (int k = 0; k < nz; ++k)
+        for (int j = 0; j < ny; ++j)
+          for (int i = 0; i < nx; ++i) {
+            const double rho0 = initial_density.at(i, j, k);
+            const double rho = rho0 > 0.0 ? rho0 : cfg_.rho0;
+            for (int q = 0; q < kQ; ++q) {
+              const double feq = equilibrium(q, rho, 0.0, 0.0, 0.0);
+              even_->f(q).at(i, j, k) = feq;
+              odd_->f(q).at(i, j, k) = feq;
+            }
+          }
+      return;
+    }
+
+    // AA storage.  The alternating in-place arrangement requires every
+    // boundary cell to be solid (a fluid hull cell would be frozen at
+    // level 0 while the interior alternates).
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          if ((i == 0 || j == 0 || k == 0 || i == nx - 1 || j == ny - 1 ||
+               k == nz - 1) &&
+              geo_.at(i, j, k) == Cell::kFluid)
+            throw std::invalid_argument(
+                "LbmState: the AA storage policy requires a fully solid "
+                "outer layer (fluid boundary cells break the in-place "
+                "alternation)");
+    rho_init_.emplace(nx, ny, nz);
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i) {
+          const double rho0 = initial_density.at(i, j, k);
+          rho_init_->at(i, j, k) = rho0 > 0.0 ? rho0 : cfg_.rho0;
+        }
+    // Level 0 is even, so the lattice must hold the STREAMED
+    // arrangement of the level-0 equilibrium: A_q(y) = f_q(y - e_q).
+    // Slots whose source lies outside the box are never read; park them
+    // at the reference-density equilibrium.
+    aa_.emplace(nx, ny, nz);
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          for (int q = 0; q < kQ; ++q) {
+            const auto& e = kVelocities[static_cast<std::size_t>(q)];
+            const int si = i - e[0], sj = j - e[1], sk = k - e[2];
+            const bool in = si >= 0 && si < nx && sj >= 0 && sj < ny &&
+                            sk >= 0 && sk < nz;
+            const double rho = in ? rho_init_->at(si, sj, sk) : cfg_.rho0;
+            aa_->f(q).at(i, j, k) = equilibrium(q, rho, 0.0, 0.0, 0.0);
+          }
   }
 
   [[nodiscard]] const Geometry& geometry() const { return geo_; }
   [[nodiscard]] const LbmConfig& config() const { return cfg_; }
+  [[nodiscard]] LbmStorage storage() const { return storage_; }
+  [[nodiscard]] const LidTerms& lid_terms() const { return lid_; }
 
-  /// Lattice holding the distributions of time levels with parity `p`.
-  [[nodiscard]] Lattice& lattice(int p) { return p == 0 ? even_ : odd_; }
-  [[nodiscard]] const Lattice& lattice(int p) const {
-    return p == 0 ? even_ : odd_;
+  /// Fluid cells in the interior — the updates one level actually
+  /// performs (solid cells only copy the carrier through), which is what
+  /// MLUP/s accounting must count.
+  [[nodiscard]] long long fluid_interior_cells() const {
+    return fluid_interior_;
   }
 
-  /// Lattice holding the distributions of absolute time level `level`
-  /// (e.g. StencilSolver::levels_done()) — the one to read diagnostics
-  /// (velocity, density moments) from.
+  /// Geometry-mask row (j, k), indexed by i like the carrier rows.
+  [[nodiscard]] const std::uint64_t* mask_row(int j, int k) const {
+    return masks_.data() +
+           (static_cast<std::size_t>(k) * geo_.ny() + j) * geo_.nx();
+  }
+
+  /// Lattice holding the distributions of time levels with parity `p`
+  /// (any integer; the parity is normalized, so negative absolute levels
+  /// land on the mathematically correct lattice).  Only the two-lattice
+  /// storage has this layout — AA states throw std::logic_error.
+  [[nodiscard]] Lattice& lattice(int p) {
+    require_two_lattice("lattice");
+    return ((p % 2) + 2) % 2 == 0 ? *even_ : *odd_;
+  }
+  [[nodiscard]] const Lattice& lattice(int p) const {
+    require_two_lattice("lattice");
+    return ((p % 2) + 2) % 2 == 0 ? *even_ : *odd_;
+  }
+
+  /// The in-place AA lattice (throws std::logic_error for two-lattice
+  /// states).
+  [[nodiscard]] Lattice& aa() {
+    require_aa("aa");
+    return *aa_;
+  }
+  [[nodiscard]] const Lattice& aa() const {
+    require_aa("aa");
+    return *aa_;
+  }
+
+  /// The distributions of absolute time level `level` (e.g.
+  /// StencilSolver::levels_done()) — the lattice to read diagnostics
+  /// (velocity, density moments) from.  Levels are absolute by contract:
+  /// negative values throw std::invalid_argument instead of silently
+  /// selecting a wrong parity.  For AA storage this decodes the in-place
+  /// arrangement into an internal scratch lattice (solid cells report
+  /// their untouched initial equilibrium, exactly like the ping-pong),
+  /// so the returned reference is invalidated by the next current()
+  /// call.
   [[nodiscard]] const Lattice& current(int level) const {
-    return lattice(level % 2);
+    if (level < 0)
+      throw std::invalid_argument(
+          "LbmState::current: absolute level must be >= 0, got " +
+          std::to_string(level));
+    if (storage_ == LbmStorage::kTwoLattice) return lattice(level);
+    if (!decode_) decode_.emplace(geo_.nx(), geo_.ny(), geo_.nz());
+    const bool even = level % 2 == 0;
+    for (int k = 0; k < geo_.nz(); ++k)
+      for (int j = 0; j < geo_.ny(); ++j)
+        for (int i = 0; i < geo_.nx(); ++i) {
+          if (geo_.at(i, j, k) != Cell::kFluid) {
+            // Solid slots are never written by either policy: report the
+            // same initial equilibrium the ping-pong leaves in place.
+            const double rho = rho_init_->at(i, j, k);
+            for (int q = 0; q < kQ; ++q)
+              decode_->f(q).at(i, j, k) =
+                  equilibrium(q, rho, 0.0, 0.0, 0.0);
+          } else if (even) {
+            // After an even level, A_q(x) = f_q(x - e_q)  =>
+            // f_q(x) = A_q(x + e_q); fluid cells are interior (solid
+            // hull), so x + e_q is always in range.
+            for (int q = 0; q < kQ; ++q) {
+              const auto& e = kVelocities[static_cast<std::size_t>(q)];
+              decode_->f(q).at(i, j, k) =
+                  aa_->f(q).at(i + e[0], j + e[1], k + e[2]);
+            }
+          } else {
+            // After an odd level the arrangement is cell-local with
+            // reversed direction slots: f_q(x) = A_opp(q)(x).
+            for (int q = 0; q < kQ; ++q)
+              decode_->f(q).at(i, j, k) = aa_->f(opposite(q)).at(i, j, k);
+          }
+        }
+    return *decode_;
   }
 
   core::LevelOrigin origin;  ///< run-local level -> absolute level
 
  private:
+  void require_two_lattice(const char* fn) const {
+    if (storage_ != LbmStorage::kTwoLattice)
+      throw std::logic_error(std::string("LbmState::") + fn +
+                             ": the parity ping-pong is a two-lattice "
+                             "layout; this state uses AA storage");
+  }
+  void require_aa(const char* fn) const {
+    if (storage_ != LbmStorage::kAA)
+      throw std::logic_error(std::string("LbmState::") + fn +
+                             ": this state uses two-lattice storage");
+  }
+
   Geometry geo_;
   LbmConfig cfg_;
-  Lattice even_, odd_;  ///< even/odd absolute-level distributions
+  LbmStorage storage_;
+  LidTerms lid_;
+  std::vector<std::uint64_t> masks_;   ///< per-cell geometry masks
+  long long fluid_interior_ = 0;
+  std::optional<Lattice> even_, odd_;  ///< two-lattice storage
+  std::optional<Lattice> aa_;          ///< AA storage
+  std::optional<core::Grid3> rho_init_;        ///< AA: resolved level-0 density
+  mutable std::optional<Lattice> decode_;      ///< AA: current() scratch
 };
 
 /// D3Q19 stream-collide as a StencilOp.  The carrier update writes the
 /// fluid density (solid cells copy through), the real state advances in
 /// the LbmState side channel; see the header comment for why every
-/// scheme schedule is safe.  No __restrict__: in the compressed scheme
-/// the carrier dst row aliases the source row (j∓1, k∓1), harmless
-/// because each cell reads its carrier source before storing.
+/// scheme schedule is safe for both storage policies.  No __restrict__:
+/// in the compressed scheme the carrier dst row aliases the source row
+/// (j∓1, k∓1), harmless because each cell reads its carrier source
+/// before storing.
 struct LbmOp {
   static constexpr int kHalo = 1;
   static constexpr bool kHasNontemporal = false;
 
   LbmState* state = nullptr;
 
-  /// One cell of the carrier update at absolute level parity — single
-  /// source of truth shared by both traversal directions.
-  double cell(const double* c, Lattice& dst_lat, const Lattice& src_lat,
-              int i, int j, int k) const {
-    if (state->geometry().at(i, j, k) != Cell::kFluid) return c[i];
-    return stream_collide_cell(state->geometry(), state->config(), src_lat,
-                               dst_lat, i, j, k);
-  }
-
   void row(double* dst, const double* c, const double* /*jm*/,
            const double* /*jp*/, const double* /*km*/,
            const double* /*kp*/, int level, int j, int k, int i0,
            int i1) const {
-    const int abs_level = state->origin.base + level;
-    const Lattice& src_lat = state->lattice((abs_level + 1) % 2);
-    Lattice& dst_lat = state->lattice(abs_level % 2);
-    for (int i = i0; i < i1; ++i)
-      dst[i] = cell(c, dst_lat, src_lat, i, j, k);
+    row_impl<false>(dst, c, level, j, k, i0, i1);
   }
 
   void row_reverse(double* dst, const double* c, const double* /*jm*/,
                    const double* /*jp*/, const double* /*km*/,
                    const double* /*kp*/, int level, int j, int k, int i0,
                    int i1) const {
-    const int abs_level = state->origin.base + level;
-    const Lattice& src_lat = state->lattice((abs_level + 1) % 2);
-    Lattice& dst_lat = state->lattice(abs_level % 2);
-    for (int i = i1 - 1; i >= i0; --i)
-      dst[i] = cell(c, dst_lat, src_lat, i, j, k);
+    row_impl<true>(dst, c, level, j, k, i0, i1);
   }
 
   void row_nt(double* dst, const double* c, const double* jm,
               const double* jp, const double* km, const double* kp,
               int level, int j, int k, int i0, int i1) const {
     row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
+  }
+
+ private:
+  /// Wires the row pointer bundle for the storage policy and the level
+  /// parity, then runs the shared masked kernel.  The three wirings are
+  /// documented at lbm::LatticeRow.
+  template <bool Reverse>
+  void row_impl(double* dst, const double* c, int level, int j, int k,
+                int i0, int i1) const {
+    LbmState& s = *state;
+    const int abs_level = s.origin.base + level;
+    LatticeRow r;
+    if (s.storage() == LbmStorage::kTwoLattice) {
+      const Lattice& src = s.lattice(abs_level + 1);
+      Lattice& dst_lat = s.lattice(abs_level);
+      for (int q = 0; q < kQ; ++q) {
+        const std::size_t uq = static_cast<std::size_t>(q);
+        const auto& e = kVelocities[uq];
+        r.fl[uq] = src.f(q).row(j - e[1], k - e[2]) - e[0];
+        r.bb[uq] = src.f(opposite(q)).row(j, k);
+        r.out[uq] = dst_lat.f(q).row(j, k);
+      }
+    } else if (((abs_level % 2) + 2) % 2 == 1) {
+      // AA local step (produces an odd level): cell-local reads of the
+      // streamed arrangement, writes into the opposite slots.
+      Lattice& a = s.aa();
+      for (int q = 0; q < kQ; ++q) {
+        const std::size_t uq = static_cast<std::size_t>(q);
+        const auto& e = kVelocities[uq];
+        r.fl[uq] = a.f(q).row(j, k);
+        r.bb[uq] = a.f(opposite(q)).row(j - e[1], k - e[2]) - e[0];
+        r.out[uq] = a.f(opposite(q)).row(j, k);
+      }
+    } else {
+      // AA stream step (produces an even level): pull from the
+      // neighbours' reversed slots, push along the direction — including
+      // into solid neighbours, which parks the next local step's
+      // bounce-back values.
+      Lattice& a = s.aa();
+      for (int q = 0; q < kQ; ++q) {
+        const std::size_t uq = static_cast<std::size_t>(q);
+        const auto& e = kVelocities[uq];
+        r.fl[uq] = a.f(opposite(q)).row(j - e[1], k - e[2]) - e[0];
+        r.bb[uq] = a.f(q).row(j, k);
+        r.out[uq] = a.f(q).row(j + e[1], k + e[2]) + e[0];
+      }
+    }
+    masked_stream_collide_row<Reverse>(s.config(), s.lid_terms(),
+                                       s.mask_row(j, k), r, dst, c, i0,
+                                       i1);
   }
 };
 
@@ -200,6 +409,12 @@ namespace tb::core {
 /// of the global shape), so every rank cuts its own window instead of
 /// exchanging them — the same reasoning that keeps varcoef's face
 /// coefficients out of the wire.
+///
+/// The AA storage policy has NO state-fields representation: its stream
+/// step pushes into the ghost ring, i.e. it needs a write-back halo the
+/// read-only contract cannot express, so the window refuses the policy
+/// at construction (shared-memory schemes run AA through LbmState
+/// directly; the dist registry rejects "lbm:aa" names up front).
 template <>
 struct StateFieldsTraits<lbm::LbmOp> {
   static constexpr bool kHasStateFields = true;
@@ -209,6 +424,7 @@ struct StateFieldsTraits<lbm::LbmOp> {
   struct Params {
     lbm::LbmConfig physics{};
     bool geometry_from_aux = false;
+    lbm::LbmStorage storage = lbm::LbmStorage::kTwoLattice;
   };
 
   /// Rank-local window of the operator state: geometry cut from the
@@ -223,11 +439,12 @@ struct StateFieldsTraits<lbm::LbmOp> {
     /// read).  `global_aux` supplies the geometry codes when
     /// `params.geometry_from_aux` is set — required then, with the
     /// global shape — and is ignored otherwise.  Throws
-    /// std::invalid_argument on a missing or ill-shaped aux grid.
+    /// std::invalid_argument on a missing or ill-shaped aux grid, or on
+    /// the (unsupported) AA storage policy.
     Window(const StateWindowSpec& spec, const Grid3& local_initial,
            const Grid3* global_aux, const Params& params)
         : state_(window_geometry(spec, global_aux, params), params.physics,
-                 local_initial) {}
+                 local_initial, checked_storage(params)) {}
 
     /// Operator bound to this window's state.
     [[nodiscard]] lbm::LbmOp op() { return lbm::LbmOp{&state_}; }
@@ -235,10 +452,11 @@ struct StateFieldsTraits<lbm::LbmOp> {
     [[nodiscard]] static constexpr int field_count() { return lbm::kQ; }
 
     /// The per-cell fields holding absolute time level `level`'s
-    /// distributions.
+    /// distributions.  Levels are absolute: negative values are outside
+    /// the contract and throw.
     [[nodiscard]] std::array<Grid3*, lbm::kQ> fields(int level) {
       std::array<Grid3*, lbm::kQ> out{};
-      lbm::Lattice& lat = state_.lattice(level % 2);
+      lbm::Lattice& lat = state_.lattice(checked_level(level));
       for (int q = 0; q < lbm::kQ; ++q)
         out[static_cast<std::size_t>(q)] = &lat.f(q);
       return out;
@@ -246,7 +464,7 @@ struct StateFieldsTraits<lbm::LbmOp> {
     [[nodiscard]] std::array<const Grid3*, lbm::kQ> fields(
         int level) const {
       std::array<const Grid3*, lbm::kQ> out{};
-      const lbm::Lattice& lat = state_.lattice(level % 2);
+      const lbm::Lattice& lat = state_.lattice(checked_level(level));
       for (int q = 0; q < lbm::kQ; ++q)
         out[static_cast<std::size_t>(q)] = &lat.f(q);
       return out;
@@ -255,6 +473,24 @@ struct StateFieldsTraits<lbm::LbmOp> {
     [[nodiscard]] const lbm::LbmState& state() const { return state_; }
 
    private:
+    [[nodiscard]] static int checked_level(int level) {
+      if (level < 0)
+        throw std::invalid_argument(
+            "lbm state window: fields() takes an absolute (non-negative) "
+            "time level, got " + std::to_string(level));
+      return level;
+    }
+
+    [[nodiscard]] static lbm::LbmStorage checked_storage(
+        const Params& params) {
+      if (params.storage != lbm::LbmStorage::kTwoLattice)
+        throw std::invalid_argument(
+            "lbm state window: the AA storage policy is shared-memory "
+            "only — its stream step pushes into the ghost ring, which "
+            "the read-only state-fields halo cannot transport");
+      return params.storage;
+    }
+
     [[nodiscard]] static lbm::Geometry window_geometry(
         const StateWindowSpec& spec, const Grid3* global_aux,
         const Params& params) {
@@ -314,7 +550,8 @@ namespace tb::lbm {
 
 /// Naive reference advance of an LbmState by `steps` absolute levels
 /// starting after `base_level` — the oracle the equivalence tests pit
-/// the scheme templates against, built directly on the cell kernel.
+/// the scheme templates (and both storage policies) against, built
+/// directly on the cell kernel over the two-lattice ping-pong.
 /// `carrier` mirrors what the solver facade maintains: each level writes
 /// every interior fluid cell's density (the kernel's own return value,
 /// for bit-exact comparison); solid cells keep their previous value.
@@ -322,8 +559,8 @@ inline void reference_advance(LbmState& state, core::Grid3& carrier,
                               int steps, int base_level = 0) {
   for (int s = 0; s < steps; ++s) {
     const int level = base_level + s + 1;
-    const Lattice& src = state.lattice((level + 1) % 2);
-    Lattice& dst = state.lattice(level % 2);
+    const Lattice& src = state.lattice(level + 1);
+    Lattice& dst = state.lattice(level);
     for (int k = 1; k < carrier.nz() - 1; ++k)
       for (int j = 1; j < carrier.ny() - 1; ++j)
         for (int i = 1; i < carrier.nx() - 1; ++i)

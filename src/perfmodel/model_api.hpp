@@ -69,18 +69,30 @@ struct OperatorTraffic {
     t.aux_bytes = 6 * sizeof(double);  // six face-coefficient fields
     t.block_state_factor = 1.0 + t.aux_bytes / t.mem_bytes;
   } else if (op == "lbm") {
-    // 19 distributions read + written (incl. write-allocate) per update,
-    // plus the density carrier's own two-grid traffic; the geometry
-    // flags stream one read-only byte per cell.  No streaming-store
-    // path: the pull-scheme gather reads the destination neighborhood.
+    // Two-lattice ping-pong: 19 distributions read + written (incl.
+    // write-allocate) per update, plus the density carrier's own
+    // two-grid traffic; the bounce-back mask streams one read-only
+    // 8-byte word per cell.  No streaming-store path: the pull-scheme
+    // gather reads the destination neighborhood.
     t.mem_bytes = 19 * 24.0 + 24.0;
     t.mem_bytes_nt = t.mem_bytes;
-    t.aux_bytes = 1.0;
+    t.aux_bytes = 8.0;
     t.halo_fields = 20.0;  // density carrier + 19 distribution fields
     // In-flight state per cell: both parities of the 19 distributions
-    // plus both carrier grids plus one geometry byte, relative to the
+    // plus both carrier grids plus the mask word, relative to the
     // 8 B/cell carrier block the capacity gate is fed.
-    t.block_state_factor = (2 * 19 * 8.0 + 2 * 8.0 + 1.0) / 8.0;
+    t.block_state_factor = (2 * 19 * 8.0 + 2 * 8.0 + 8.0) / 8.0;
+  } else if (op == "lbm:aa") {
+    // In-place AA storage: each distribution is read and rewritten in
+    // ONE lattice, so the write hits a cache line the read just loaded —
+    // no second lattice, no write-allocate.  19 * (8 read + 8 write)
+    // plus the carrier's two-grid traffic and the 8-byte mask word.
+    t.mem_bytes = 19 * 16.0 + 24.0;
+    t.mem_bytes_nt = t.mem_bytes;
+    t.aux_bytes = 8.0;
+    t.halo_fields = 20.0;  // same fields; dist rejects AA anyway
+    // Single resident lattice + both carrier grids + the mask word.
+    t.block_state_factor = (19 * 8.0 + 2 * 8.0 + 8.0) / 8.0;
   }
   // box27 reads more *rows* but the same grids: traffic per update is
   // identical to jacobi without the streaming-store path.  redblack

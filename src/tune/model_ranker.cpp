@@ -12,7 +12,12 @@ perfmodel::OperatorTraffic operator_traffic(const std::string& op) {
 
 double predict_mlups(const Candidate& c, const Problem& p,
                      const perfmodel::NodeModel& model) {
-  const perfmodel::OperatorTraffic traffic = operator_traffic(p.op);
+  // A bare "lbm" problem ranks candidates of BOTH storage policies; the
+  // candidate's own layout decides which traffic row prices it (the AA
+  // row drops the second lattice and the write-allocate).
+  const bool aa = c.cfg.lbm_storage == lbm::LbmStorage::kAA;
+  const perfmodel::OperatorTraffic traffic =
+      operator_traffic(p.op == "lbm" && aa ? "lbm:aa" : p.op);
   double lups = 0.0;
   switch (c.cfg.variant) {
     case core::Variant::kReference:

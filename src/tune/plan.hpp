@@ -70,19 +70,27 @@ struct Candidate {
   }
 
   /// Copies the schedule into `dst`, preserving dst.op (the operator is
-  /// a property of the problem, not of the schedule).
+  /// a property of the problem, not of the schedule).  The lbm storage
+  /// policy IS part of the schedule: an "lbm" problem is tuned over both
+  /// the two-lattice and the in-place AA layout.
   void apply(core::SolverConfig& dst) const {
     dst.variant = cfg.variant;
     dst.pipeline = cfg.pipeline;
     dst.baseline = cfg.baseline;
     dst.wavefront = cfg.wavefront;
+    dst.lbm_storage = cfg.lbm_storage;
     dst.meta.clear();
   }
 
   [[nodiscard]] std::string describe() const {
+    // Non-lbm candidates never carry kAA, so the tag only ever shows on
+    // lattice-Boltzmann schedules.
+    const std::string variant_tag =
+        variant +
+        (cfg.lbm_storage == lbm::LbmStorage::kAA ? "+aa" : "");
     switch (cfg.variant) {
       case core::Variant::kPipelined:
-        return variant + "[n=" + std::to_string(cfg.pipeline.teams) +
+        return variant_tag + "[n=" + std::to_string(cfg.pipeline.teams) +
                ",t=" + std::to_string(cfg.pipeline.team_size) +
                ",T=" + std::to_string(cfg.pipeline.steps_per_thread) +
                ",b=" + std::to_string(cfg.pipeline.block.bx) + "x" +
@@ -90,17 +98,18 @@ struct Candidate {
                std::to_string(cfg.pipeline.block.bz) +
                ",du=" + std::to_string(cfg.pipeline.du) + "]";
       case core::Variant::kWavefront:
-        return variant + "[t=" + std::to_string(cfg.wavefront.threads) +
+        return variant_tag + "[t=" + std::to_string(cfg.wavefront.threads) +
                ",by=" + std::to_string(cfg.wavefront.by) + "]";
       case core::Variant::kBaseline:
-        return variant + "[threads=" + std::to_string(cfg.baseline.threads) +
+        return variant_tag +
+               "[threads=" + std::to_string(cfg.baseline.threads) +
                ",b=" + std::to_string(cfg.baseline.block.bx) + "x" +
                std::to_string(cfg.baseline.block.by) + "x" +
                std::to_string(cfg.baseline.block.bz) +
                (cfg.baseline.nontemporal ? ",nt" : "") + "]";
-      case core::Variant::kReference: return variant;
+      case core::Variant::kReference: return variant_tag;
     }
-    return variant;
+    return variant_tag;
   }
 };
 

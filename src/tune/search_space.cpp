@@ -64,13 +64,30 @@ std::vector<Candidate> enumerate_candidates(
   const std::vector<int> tiles =
       tile_ladder(std::max(p.ny - 2, 1), heavy);
 
+  // The lbm storage policy is a schedule axis: a bare "lbm" problem is
+  // tuned over both layouts (the ranker prices them with their own
+  // traffic rows), "lbm:aa" pins the in-place layout, and every other
+  // operator keeps the default.  emit() fans one schedule out across
+  // the applicable storages.
+  using Storage = lbm::LbmStorage;
+  const std::vector<Storage> storages =
+      p.op == "lbm" ? std::vector<Storage>{Storage::kTwoLattice, Storage::kAA}
+      : p.op == "lbm:aa" ? std::vector<Storage>{Storage::kAA}
+                         : std::vector<Storage>{Storage::kTwoLattice};
+  auto emit = [&out, &storages](Candidate c) {
+    for (Storage s : storages) {
+      c.cfg.lbm_storage = s;
+      out.push_back(c);
+    }
+  };
+
   // The oracle is only a "schedule" when explicitly requested; tuning
   // never proposes a single-threaded naive sweep on its own.
   if (p.variant == "reference") {
     Candidate c;
     c.variant = "reference";
     c.cfg.variant = core::Variant::kReference;
-    out.push_back(c);
+    emit(c);
     return out;
   }
 
@@ -87,7 +104,7 @@ std::vector<Candidate> enumerate_candidates(
         // the probes re-apply the same criterion at probe size.
         c.cfg.baseline.nontemporal =
             nontemporal_pays(p.op, p.nx, p.ny, p.nz, machine);
-        out.push_back(c);
+        emit(c);
       }
   }
 
@@ -128,7 +145,7 @@ std::vector<Candidate> enumerate_candidates(
               c.cfg.baseline.block = {p.nx, tile, tile};
               c.cfg.baseline.nontemporal = false;
               c.cfg.pipeline.validate();
-              out.push_back(c);
+              emit(c);
             }
       }
       if (machine.sockets == 1) break;  // the {1, sockets} set collapsed
@@ -152,7 +169,7 @@ std::vector<Candidate> enumerate_candidates(
         c.cfg.wavefront.by = clipped;
         c.cfg.baseline.threads = th;  // remainder fallback
         c.cfg.baseline.nontemporal = false;
-        out.push_back(c);
+        emit(c);
       }
     }
   }

@@ -190,6 +190,10 @@ std::size_t TuningCache::load() {
     wf.threads = as_int(o, "wf_threads", wf.threads);
     wf.by = as_int(o, "wf_by", wf.by);
 
+    e.plan.cfg.lbm_storage = as_int(o, "lbm_aa", 0) != 0
+                                 ? lbm::LbmStorage::kAA
+                                 : lbm::LbmStorage::kTwoLattice;
+
     e.plan.predicted_mlups = as_double(o, "predicted_mlups", 0.0);
     e.plan.measured_mlups = as_double(o, "measured_mlups", 0.0);
 
@@ -236,6 +240,8 @@ bool TuningCache::save() const {
         << bl.block.bx << ", \"bl_by\": " << bl.block.by << ", \"bl_bz\": "
         << bl.block.bz << ", \"nontemporal\": " << (bl.nontemporal ? 1 : 0)
         << ", \"wf_threads\": " << wf.threads << ", \"wf_by\": " << wf.by
+        << ", \"lbm_aa\": "
+        << (e.plan.cfg.lbm_storage == lbm::LbmStorage::kAA ? 1 : 0)
         << ",\n     \"predicted_mlups\": " << e.plan.predicted_mlups
         << ", \"measured_mlups\": " << e.plan.measured_mlups << "}"
         << (i + 1 < entries_.size() ? "," : "") << "\n";

@@ -68,6 +68,35 @@ TEST(Baseline, StatsCountUpdates) {
   EXPECT_GT(st.seconds, 0.0);
 }
 
+TEST(Baseline, SingleThreadKeepsPaceWithReference) {
+  // Regression for the per-sweep thread-pool dispatch: BaselineSolver
+  // used to fork/join the pool on EVERY sweep, burying small-grid
+  // throughput ~25x below the single-threaded reference.  With the whole
+  // step loop inside one dispatch (spin barrier between sweeps), one
+  // baseline thread must stay within a wide safety factor of the
+  // reference — the bound is deliberately loose (0.25x) so only a
+  // reintroduced order-of-magnitude dispatch overhead can trip it.
+  const int n = 32, steps = 40;
+  const Grid3 initial = make_initial(n, n, n);
+  SolverConfig ref_cfg;
+  ref_cfg.variant = Variant::kReference;
+  SolverConfig base_cfg;
+  base_cfg.variant = Variant::kBaseline;
+  base_cfg.baseline.threads = 1;
+  base_cfg.baseline.nontemporal = false;
+
+  double ref_mlups = 0.0, base_mlups = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {  // best-of-3 damps scheduler noise
+    JacobiSolver ref(ref_cfg, initial);
+    ref.advance(2);  // warm-up: faults the grids in
+    ref_mlups = std::max(ref_mlups, ref.advance(steps).mlups());
+    JacobiSolver base(base_cfg, initial);
+    base.advance(2);
+    base_mlups = std::max(base_mlups, base.advance(steps).mlups());
+  }
+  EXPECT_GT(base_mlups, 0.25 * ref_mlups);
+}
+
 // ---- facade ----------------------------------------------------------
 
 TEST(Facade, ReferenceVariantMatchesOracle) {

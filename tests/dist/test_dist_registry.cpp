@@ -17,10 +17,19 @@ using tb::test::make_initial;
 using tb::test::make_kappa;
 
 TEST(DistRegistry, NamesEnumerateTheOperatorAxis) {
+  // ':'-qualified storage-policy aliases ("lbm:aa") are shared-memory
+  // only and must NOT appear on the distributed axis.
+  std::size_t dist_capable = 0;
+  for (const std::string& op : core::registered_operators())
+    if (op.find(':') == std::string::npos) ++dist_capable;
+  ASSERT_LT(dist_capable, core::registered_operators().size());
+
   const auto names = registered_dist_variants();
-  ASSERT_EQ(names.size(), core::registered_operators().size());
+  ASSERT_EQ(names.size(), dist_capable);
   for (const std::string& name : names) {
     EXPECT_TRUE(is_dist_variant(name)) << name;
+    EXPECT_EQ(dist_operator(name).find(':'), std::string_view::npos)
+        << name;
     bool known = false;
     for (const std::string& op : core::registered_operators())
       known = known || op == dist_operator(name);
@@ -44,7 +53,8 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
   cfg.pipeline.block = {8, 6, 6};
   const int steps = epochs * cfg.pipeline.levels_per_sweep();
 
-  for (const std::string& op : core::registered_operators()) {
+  for (const std::string& name : registered_dist_variants()) {
+    const std::string op(dist_operator(name));
     core::SolverConfig ref_cfg;
     core::StencilSolver ref =
         core::make_solver("reference", op, ref_cfg, initial, &kappa);
@@ -57,11 +67,33 @@ TEST(DistRegistry, EveryOperatorRunsDecomposedBitIdentically) {
 
     // The "dist:" spelling is the same factory.
     core::Grid3 prefixed = initial.clone();
-    run_distributed_named("dist:" + op, 4, cfg, initial, epochs, &prefixed,
+    run_distributed_named(name, 4, cfg, initial, epochs, &prefixed,
                           &kappa);
     EXPECT_EQ(core::max_abs_diff(prefixed, result), 0.0)
-        << "operator dist:" << op;
+        << "operator " << name;
   }
+}
+
+TEST(DistRegistry, AaStoragePolicyIsRejectedWithAnExplanation) {
+  // The AA stream step pushes INTO the ghost ring; the read-only
+  // state-fields halo cannot transport that back, so both the name and
+  // the window refuse it loudly instead of silently running two-lattice.
+  const core::Grid3 initial = make_initial(12);
+  DistConfig cfg;
+  cfg.pipeline.team_size = 1;
+  simnet::World world(1);
+  world.run([&](simnet::Comm& comm) {
+    for (const char* name : {"lbm:aa", "dist:lbm:aa"}) {
+      try {
+        (void)make_distributed(name, comm, cfg, initial);
+        FAIL() << name << " must not construct";
+      } catch (const std::invalid_argument& err) {
+        EXPECT_NE(std::string(err.what()).find("shared-memory"),
+                  std::string::npos)
+            << err.what();
+      }
+    }
+  });
 }
 
 TEST(DistRegistry, LbmConstructsAndExposesItsStateFields) {

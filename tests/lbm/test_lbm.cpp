@@ -251,6 +251,21 @@ TEST_P(LbmEquivalence, SchemeMatchesNaiveOracle) {
                 oracle.current(c.steps)),
             0.0)
       << c;
+
+  // The in-place AA storage under the SAME schedule and obstacle
+  // geometry must reproduce the two-lattice oracle bit for bit —
+  // carrier AND decoded distributions.
+  core::StencilSolver aa =
+      core::make_solver(c.variant, "lbm:aa", cfg, initial, &codes);
+  aa.advance(c.steps);
+  EXPECT_EQ(core::max_abs_diff(aa.solution(), carrier), 0.0)
+      << c << " (aa)";
+  ASSERT_NE(aa.lbm_state(), nullptr);
+  EXPECT_EQ(aa.lbm_state()->storage(), LbmStorage::kAA);
+  EXPECT_EQ(aa.lbm_state()->current(c.steps).max_abs_diff(
+                oracle.current(c.steps)),
+            0.0)
+      << c << " (aa)";
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -325,6 +340,138 @@ TEST(Lbm, CodeBalanceMotivation) {
   // the reason the paper motivates temporal blocking with LBM.
   EXPECT_EQ(bytes_per_update_nt(), 19 * 16.0);
   EXPECT_GT(bytes_per_update_two_lattice() / 24.0, 15.0);
+  // The AA pattern halves that again: one lattice, no write-allocate.
+  EXPECT_EQ(bytes_per_update_aa(), 19 * 16.0);
+  EXPECT_LT(bytes_per_update_aa() / bytes_per_update_two_lattice(), 0.7);
+}
+
+// ---- the in-place AA storage policy ------------------------------------
+
+TEST(LbmAa, RequiresAFullySolidOuterLayer) {
+  const int n = 8;
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  Geometry geo = Geometry::cavity(n, n, n);
+  geo.set(0, n / 2, n / 2, Cell::kFluid);  // puncture the hull
+  // The ping-pong tolerates the (frozen) fluid hull cell; AA cannot.
+  EXPECT_NO_THROW(
+      LbmState(geo, LbmConfig{}, initial, LbmStorage::kTwoLattice));
+  EXPECT_THROW(LbmState(geo, LbmConfig{}, initial, LbmStorage::kAA),
+               std::invalid_argument);
+  // The unpunctured cavity (wall hull + lid top) is fine.
+  EXPECT_NO_THROW(LbmState(Geometry::cavity(n, n, n), LbmConfig{}, initial,
+                           LbmStorage::kAA));
+}
+
+TEST(LbmAa, StorageLayoutContractsThrowLoudly) {
+  const int n = 6;
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  LbmState two(Geometry::cavity(n, n, n), LbmConfig{}, initial,
+               LbmStorage::kTwoLattice);
+  LbmState aa(Geometry::cavity(n, n, n), LbmConfig{}, initial,
+              LbmStorage::kAA);
+  // Parity is normalized: any even (odd) level selects the same lattice,
+  // including negative parities (the old negative-% bug silently handed
+  // out the odd lattice for every nonzero input).
+  EXPECT_EQ(&two.lattice(-2), &two.lattice(0));
+  EXPECT_EQ(&two.lattice(-1), &two.lattice(1));
+  EXPECT_EQ(&two.lattice(3), &two.lattice(1));
+  EXPECT_NE(&two.lattice(0), &two.lattice(1));
+  // Layout accessors are storage-checked...
+  EXPECT_THROW((void)two.aa(), std::logic_error);
+  EXPECT_THROW((void)aa.lattice(0), std::logic_error);
+  EXPECT_NO_THROW((void)aa.aa());
+  // ...and current() takes an ABSOLUTE level for either storage.
+  EXPECT_THROW((void)two.current(-1), std::invalid_argument);
+  EXPECT_THROW((void)aa.current(-3), std::invalid_argument);
+  EXPECT_NO_THROW((void)aa.current(0));
+}
+
+TEST(LbmAa, InitialDecodeMatchesTheTwoLatticeInit) {
+  // Level 0 through the AA decode must be bitwise the equilibrium init
+  // the ping-pong stores directly — including the rho<=0 fallback.
+  const int n = 9;
+  core::Grid3 initial(n, n, n);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        initial.at(i, j, k) = 0.9 + 0.01 * i - 0.02 * j + 0.005 * k;
+  initial.at(2, 3, 4) = -1.0;  // exercises the cfg.rho0 fallback
+  LbmState two(Geometry::cavity(n, n, n), LbmConfig{}, initial,
+               LbmStorage::kTwoLattice);
+  LbmState aa(Geometry::cavity(n, n, n), LbmConfig{}, initial,
+              LbmStorage::kAA);
+  EXPECT_EQ(aa.current(0).max_abs_diff(two.current(0)), 0.0);
+}
+
+TEST(LbmAa, StateFieldsWindowRejectsThePolicy) {
+  // The distributed state-fields halo is read-only; the AA stream step
+  // pushes into the ghost ring, so the window must refuse the policy
+  // instead of silently running two-lattice.
+  core::StateWindowSpec spec;
+  spec.global_n = {8, 8, 8};
+  spec.origin = {0, 0, 0};
+  spec.local_n = {8, 8, 8};
+  core::Grid3 local(8, 8, 8);
+  local.fill(1.0);
+  core::StateFieldsTraits<LbmOp>::Params params;
+  params.storage = LbmStorage::kAA;
+  try {
+    core::StateFieldsTraits<LbmOp>::Window w(spec, local, nullptr, params);
+    FAIL() << "AA window must not construct";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("shared-memory"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+// ---- geometry-aware throughput accounting ------------------------------
+
+TEST(Lbm, FluidInteriorCountsExcludeSolidCells) {
+  const int n = 14;
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  const long long interior = 1LL * (n - 2) * (n - 2) * (n - 2);
+  LbmState cavity(Geometry::cavity(n, n, n), LbmConfig{}, initial);
+  EXPECT_EQ(cavity.fluid_interior_cells(), interior);
+  // The obstacle geometry blocks two interior cells.
+  LbmState obstacle(geometry_from_codes(obstacle_cavity_codes(n)),
+                    LbmConfig{}, initial);
+  EXPECT_EQ(obstacle.fluid_interior_cells(), interior - 2);
+}
+
+TEST(Lbm, RunStatsCountFluidUpdatesNotInteriorCells) {
+  // MLUP/s for lbm must count the updates actually performed: solid
+  // cells only copy the carrier through.  Both storages, and the
+  // blocked variants' remainder phases, report the same count.
+  const int n = 14, steps = 7;
+  const core::Grid3 codes = obstacle_cavity_codes(n);
+  core::Grid3 initial(n, n, n);
+  initial.fill(1.0);
+  const long long fluid = 1LL * (n - 2) * (n - 2) * (n - 2) - 2;
+  for (const char* op : {"lbm", "lbm:aa"})
+    for (const char* variant : {"reference", "baseline", "pipelined"}) {
+      core::SolverConfig cfg;
+      cfg.lbm_geometry_from_aux = true;
+      cfg.baseline.threads = 2;
+      cfg.pipeline.team_size = 2;
+      cfg.pipeline.steps_per_thread = 2;
+      cfg.pipeline.block = {5, 4, 3};
+      core::StencilSolver solver =
+          core::make_solver(variant, op, cfg, initial, &codes);
+      const core::RunStats st = solver.advance(steps);
+      EXPECT_EQ(st.cell_updates, fluid * steps)
+          << variant << "/" << op;
+      EXPECT_EQ(st.levels, steps) << variant << "/" << op;
+    }
+  // Geometry-oblivious operators keep the plain interior count.
+  core::SolverConfig cfg;
+  core::StencilSolver jacobi =
+      core::make_solver("reference", "jacobi", cfg, initial);
+  EXPECT_EQ(jacobi.advance(3).cell_updates,
+            1LL * (n - 2) * (n - 2) * (n - 2) * 3);
 }
 
 }  // namespace

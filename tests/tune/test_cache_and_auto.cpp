@@ -66,10 +66,16 @@ TEST(TuningCache, RoundTripsPlansFieldExact) {
     wf.cfg.wavefront.by = 8;
     wf.measured_mlups = 99.5;
     cache.put(cube(48, "varcoef"), wf);
+    // A bare-"lbm" problem whose winning schedule carries the AA
+    // storage policy: the policy must survive the disk round trip, or a
+    // cache hit would silently deploy the two-lattice layout.
+    Candidate aa = pipelined_plan();
+    aa.cfg.lbm_storage = lbm::LbmStorage::kAA;
+    cache.put(cube(40, "lbm"), aa);
     ASSERT_TRUE(cache.save());
   }
   TuningCache cache(path, sig);
-  EXPECT_EQ(cache.load(), 2u);
+  EXPECT_EQ(cache.load(), 3u);
 
   const auto hit = cache.find(cube(32));
   ASSERT_TRUE(hit.has_value());
@@ -88,6 +94,11 @@ TEST(TuningCache, RoundTripsPlansFieldExact) {
   ASSERT_TRUE(wf_hit.has_value());
   EXPECT_EQ(wf_hit->variant, "wavefront");
   EXPECT_EQ(wf_hit->cfg.wavefront.threads, 3);
+  EXPECT_EQ(wf_hit->cfg.lbm_storage, lbm::LbmStorage::kTwoLattice);
+
+  const auto aa_hit = cache.find(cube(40, "lbm"));
+  ASSERT_TRUE(aa_hit.has_value());
+  EXPECT_EQ(aa_hit->cfg.lbm_storage, lbm::LbmStorage::kAA);
 
   EXPECT_FALSE(cache.find(cube(33)).has_value());
   EXPECT_FALSE(cache.find(cube(32, "varcoef")).has_value());

@@ -129,13 +129,74 @@ TEST(ModelRanker, OperatorTrafficMatchesTheOperators) {
   EXPECT_EQ(operator_traffic("redblack").mem_bytes, 24.0);
   EXPECT_EQ(operator_traffic("redblack").mem_bytes_nt, 24.0);
   // 19 distributions + the density carrier, read+write+write-allocate,
-  // plus one geometry byte.
+  // plus the 8-byte bounce-back mask word.
   EXPECT_EQ(operator_traffic("lbm").mem_bytes, 20 * 24.0);
-  EXPECT_EQ(operator_traffic("lbm").aux_bytes, 1.0);
+  EXPECT_EQ(operator_traffic("lbm").aux_bytes, 8.0);
+  // The in-place AA layout drops the second lattice and the
+  // write-allocate: 19 * 16 + the carrier's 24, same mask word, and a
+  // roughly halved in-flight state.
+  EXPECT_EQ(operator_traffic("lbm:aa").mem_bytes, 19 * 16.0 + 24.0);
+  EXPECT_EQ(operator_traffic("lbm:aa").aux_bytes, 8.0);
+  EXPECT_LT(operator_traffic("lbm:aa").mem_bytes,
+            0.7 * operator_traffic("lbm").mem_bytes);
+  EXPECT_LT(operator_traffic("lbm:aa").block_state_factor,
+            0.6 * operator_traffic("lbm").block_state_factor);
   // The pipelined capacity gate must see the side-channel lattices:
   // lbm keeps ~40 carrier-blocks of state in flight per block.
   EXPECT_GT(operator_traffic("lbm").block_state_factor, 30.0);
   EXPECT_EQ(operator_traffic("jacobi").block_state_factor, 1.0);
+}
+
+TEST(SearchSpace, LbmProblemsEnumerateBothStoragePolicies) {
+  // A bare "lbm" problem tunes over the storage axis: every schedule is
+  // emitted once per layout, an "lbm:aa" problem pins AA, and non-lbm
+  // operators never carry it.  Ranking must price the AA twin of the
+  // same schedule at or above the two-lattice one (less traffic).
+  const topo::MachineSpec m = topo::nehalem_ep();
+  const Problem p = cube(64, "lbm");
+  const auto cands = enumerate_candidates(p, m);
+  std::size_t aa = 0, two = 0;
+  for (const Candidate& c : cands)
+    (c.cfg.lbm_storage == lbm::LbmStorage::kAA ? aa : two) += 1;
+  EXPECT_EQ(aa, two);
+  ASSERT_GT(aa, 0u);
+
+  for (const Candidate& c : enumerate_candidates(cube(64, "lbm:aa"), m))
+    EXPECT_EQ(c.cfg.lbm_storage, lbm::LbmStorage::kAA) << c.describe();
+  for (const Candidate& c : enumerate_candidates(cube(64), m))
+    EXPECT_EQ(c.cfg.lbm_storage, lbm::LbmStorage::kTwoLattice)
+        << c.describe();
+
+  auto ranked = cands;
+  rank_candidates(ranked, p, m);
+  // Pair up twins via describe() minus the storage tag.
+  for (const Candidate& c : ranked) {
+    if (c.cfg.lbm_storage != lbm::LbmStorage::kAA) continue;
+    const std::string tagged = c.describe();
+    for (const Candidate& o : ranked) {
+      if (o.cfg.lbm_storage == lbm::LbmStorage::kAA) continue;
+      std::string plain = o.describe();
+      const std::size_t bracket = plain.find('[');
+      plain.insert(bracket == std::string::npos ? plain.size() : bracket,
+                   "+aa");
+      if (plain == tagged) {
+        EXPECT_GE(c.predicted_mlups, o.predicted_mlups) << tagged;
+      }
+    }
+  }
+}
+
+TEST(SearchSpace, AaScheduleAppliesItsStoragePolicy) {
+  // Candidate::apply must carry the storage policy into the deployment
+  // config — this is how `--variant auto` actually turns AA on.
+  Candidate c;
+  c.variant = "baseline";
+  c.cfg.variant = core::Variant::kBaseline;
+  c.cfg.lbm_storage = lbm::LbmStorage::kAA;
+  core::SolverConfig cfg;
+  c.apply(cfg);
+  EXPECT_EQ(cfg.lbm_storage, lbm::LbmStorage::kAA);
+  EXPECT_NE(c.describe().find("+aa"), std::string::npos);
 }
 
 TEST(SearchSpace, HeavyOperatorsGetCacheSizedTiles) {
