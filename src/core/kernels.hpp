@@ -8,30 +8,31 @@
 // row pointers.  The pointers never alias each other even in the
 // compressed-grid (in-place, shifted) scheme, because the destination row
 // (j-1, k-1) is not among the source rows {(j,k), (j±1,k), (j,k±1)} —
-// hence the __restrict__ qualifiers are valid and the loops auto-vectorize.
+// hence the __restrict__ qualifiers are valid.
+//
+// The row bodies are written against the explicit vec<double, W> layer
+// (util/simd.hpp) instead of hoping the autovectorizer takes the TB_IVDEP
+// hint: W cells per iteration, each lane evaluating the identical scalar
+// expression tree (jacobi_cell) elementwise, plus a scalar tail for the
+// row remainder.  Per-lane arithmetic is exactly the scalar expression
+// and contraction is off build-wide, so bit-identity across variants —
+// and across TB_SIMD ISA choices — is preserved.
 //
 // The reverse variants iterate descending i; they exist because compressed
 // grid sweeps that shift by (+1,+1,+1) overlap source and destination such
 // that only a descending traversal is race-free.  (The paper used SSE
-// intrinsics here because icc refused to vectorize backward loops; GCC
-// handles the plain loop.)
+// intrinsics here because icc refused to vectorize backward loops; the
+// vec blocks handle either direction.)
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
+#include "util/simd.hpp"
 
-/// Explicit "no loop-carried dependence" marker for the row loops below.
-/// All per-cell updates in this library are independent within one row
-/// (the only in-row aliasing anywhere is write-after-read, which
-/// vectorization preserves — reads only move earlier, writes later), so
-/// telling the vectorizer outright beats hoping it proves the same from
-/// __restrict__ — and is the only way to vectorize the deliberately
-/// non-restrict operators (Box27Op).  Per-lane arithmetic is the scalar
-/// expression, so bit-identity across variants is untouched.
+/// Explicit "no loop-carried dependence" marker for plain row loops.
+/// Kept for operators that stay scalar (RedBlackOp's color-masked row);
+/// the hot kernels below use the vec layer and no longer need it.
 #if defined(__clang__)
 #define TB_IVDEP _Pragma("clang loop vectorize(enable)")
 #elif defined(__GNUC__)
@@ -44,6 +45,27 @@ namespace tb::core {
 
 inline constexpr double kSixth = 1.0 / 6.0;
 
+/// THE scalar Jacobi cell expression — the single source of truth every
+/// vector lane and every scalar tail below must reproduce bit for bit.
+[[nodiscard]] inline double jacobi_cell(const double* c, const double* jm,
+                                        const double* jp, const double* km,
+                                        const double* kp, int i) {
+  return kSixth * (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
+}
+
+/// One native-width block of jacobi_cell at i..i+W-1, elementwise.
+[[nodiscard]] inline util::simd::dvec jacobi_cell_vec(const double* c,
+                                                      const double* jm,
+                                                      const double* jp,
+                                                      const double* km,
+                                                      const double* kp,
+                                                      int i) {
+  using V = util::simd::dvec;
+  return V::broadcast(kSixth) *
+         (V::load(c + i - 1) + V::load(c + i + 1) + V::load(jm + i) +
+          V::load(jp + i) + V::load(km + i) + V::load(kp + i));
+}
+
 /// Forward Jacobi row update: dst[i] for i in [i0, i1).
 inline void jacobi_row(double* __restrict__ dst,
                        const double* __restrict__ c,
@@ -51,11 +73,11 @@ inline void jacobi_row(double* __restrict__ dst,
                        const double* __restrict__ jp,
                        const double* __restrict__ km,
                        const double* __restrict__ kp, int i0, int i1) {
-  TB_IVDEP
-  for (int i = i0; i < i1; ++i) {
-    dst[i] = kSixth *
-             (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-  }
+  constexpr int W = util::simd::dvec::kWidth;
+  int i = i0;
+  for (; i + W <= i1; i += W)
+    jacobi_cell_vec(c, jm, jp, km, kp, i).store(dst + i);
+  for (; i < i1; ++i) dst[i] = jacobi_cell(c, jm, jp, km, kp, i);
 }
 
 /// Reverse-order Jacobi row update (descending i), same arithmetic.
@@ -66,11 +88,12 @@ inline void jacobi_row_reverse(double* __restrict__ dst,
                                const double* __restrict__ km,
                                const double* __restrict__ kp, int i0,
                                int i1) {
-  TB_IVDEP
-  for (int i = i1 - 1; i >= i0; --i) {
-    dst[i] = kSixth *
-             (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-  }
+  constexpr int W = util::simd::dvec::kWidth;
+  int i = i1 - W;
+  for (; i >= i0; i -= W)
+    jacobi_cell_vec(c, jm, jp, km, kp, i).store(dst + i);
+  for (i += W - 1; i >= i0; --i)
+    dst[i] = jacobi_cell(c, jm, jp, km, kp, i);
 }
 
 /// Forward Jacobi row update writing with a -1 x-offset relative to the
@@ -82,11 +105,11 @@ inline void jacobi_row_shift_down(double* __restrict__ dst,
                                   const double* __restrict__ km,
                                   const double* __restrict__ kp, int i0,
                                   int i1) {
-  TB_IVDEP
-  for (int i = i0; i < i1; ++i) {
-    dst[i - 1] = kSixth *
-                 (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-  }
+  constexpr int W = util::simd::dvec::kWidth;
+  int i = i0;
+  for (; i + W <= i1; i += W)
+    jacobi_cell_vec(c, jm, jp, km, kp, i).store(dst + i - 1);
+  for (; i < i1; ++i) dst[i - 1] = jacobi_cell(c, jm, jp, km, kp, i);
 }
 
 /// Reverse Jacobi row update writing with a +1 x-offset (compressed grid,
@@ -98,60 +121,53 @@ inline void jacobi_row_shift_up(double* __restrict__ dst,
                                 const double* __restrict__ km,
                                 const double* __restrict__ kp, int i0,
                                 int i1) {
-  TB_IVDEP
-  for (int i = i1 - 1; i >= i0; --i) {
-    dst[i + 1] = kSixth *
-                 (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-  }
+  constexpr int W = util::simd::dvec::kWidth;
+  int i = i1 - W;
+  for (; i >= i0; i -= W)
+    jacobi_cell_vec(c, jm, jp, km, kp, i).store(dst + i + 1);
+  for (i += W - 1; i >= i0; --i)
+    dst[i + 1] = jacobi_cell(c, jm, jp, km, kp, i);
 }
 
-/// Whether non-temporal (streaming) stores are available on this target.
+/// Whether non-temporal (streaming) stores are available on this target
+/// (false when TB_SIMD=scalar forces the generic path, and on NEON,
+/// which has no cache-bypassing double store).
 [[nodiscard]] constexpr bool nontemporal_supported() {
-#if defined(__SSE2__)
-  return true;
-#else
-  return false;
-#endif
+  return util::simd::kHasStream;
 }
 
 /// Jacobi row update with non-temporal stores, bypassing the cache
 /// hierarchy and thereby avoiding the read-for-ownership on the write miss
 /// (Sec. 1.1).  Only useful for the *standard* (not temporally blocked)
-/// algorithm, where the result is not reused in cache.
+/// algorithm, where the result is not reused in cache.  Streaming stores
+/// require native-vector alignment: rows start 64-byte aligned (Grid3's
+/// padded pitch), so dst + i is aligned exactly when i % W == 0 — the
+/// scalar prologue peels up to that boundary.
 inline void jacobi_row_nt(double* __restrict__ dst,
                           const double* __restrict__ c,
                           const double* __restrict__ jm,
                           const double* __restrict__ jp,
                           const double* __restrict__ km,
                           const double* __restrict__ kp, int i0, int i1) {
-#if defined(__SSE2__)
-  int i = i0;
-  // Scalar prologue up to 16-byte alignment of dst.
-  for (; i < i1 && (reinterpret_cast<std::uintptr_t>(dst + i) & 0xF) != 0; ++i)
-    dst[i] = kSixth * (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-  const __m128d sixth = _mm_set1_pd(kSixth);
-  for (; i + 2 <= i1; i += 2) {
-    __m128d acc = _mm_add_pd(_mm_loadu_pd(c + i - 1), _mm_loadu_pd(c + i + 1));
-    acc = _mm_add_pd(acc, _mm_loadu_pd(jm + i));
-    acc = _mm_add_pd(acc, _mm_loadu_pd(jp + i));
-    acc = _mm_add_pd(acc, _mm_loadu_pd(km + i));
-    acc = _mm_add_pd(acc, _mm_loadu_pd(kp + i));
-    _mm_stream_pd(dst + i, _mm_mul_pd(acc, sixth));
+  if constexpr (!util::simd::kHasStream) {
+    jacobi_row(dst, c, jm, jp, km, kp, i0, i1);
+  } else {
+    constexpr int W = util::simd::dvec::kWidth;
+    constexpr std::uintptr_t kVecBytes = W * sizeof(double);
+    int i = i0;
+    for (; i < i1 &&
+           (reinterpret_cast<std::uintptr_t>(dst + i) % kVecBytes) != 0;
+         ++i)
+      dst[i] = jacobi_cell(c, jm, jp, km, kp, i);
+    for (; i + W <= i1; i += W)
+      jacobi_cell_vec(c, jm, jp, km, kp, i).stream(dst + i);
+    for (; i < i1; ++i) dst[i] = jacobi_cell(c, jm, jp, km, kp, i);
   }
-  for (; i < i1; ++i)
-    dst[i] = kSixth * (c[i - 1] + c[i + 1] + jm[i] + jp[i] + km[i] + kp[i]);
-#else
-  jacobi_row(dst, c, jm, jp, km, kp, i0, i1);
-#endif
 }
 
 /// Fence required after a sequence of non-temporal stores before other
 /// threads may read the data.
-inline void nontemporal_fence() {
-#if defined(__SSE2__)
-  _mm_sfence();
-#endif
-}
+inline void nontemporal_fence() { util::simd::store_fence(); }
 
 /// Copies src[i0..i1) to dst with an x-offset (boundary propagation in the
 /// compressed-grid scheme, where even fixed boundary values must shift with

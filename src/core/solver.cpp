@@ -256,9 +256,11 @@ namespace {
 /// lid-driven cavity of the grid's shape.
 lbm::LbmState default_lbm_state(const SolverConfig& cfg,
                                 const Grid3& initial) {
-  return lbm::LbmState(
+  lbm::LbmState s(
       lbm::Geometry::cavity(initial.nx(), initial.ny(), initial.nz()),
       cfg.lbm, initial, cfg.lbm_storage);
+  s.prefetch = cfg.lbm_prefetch;
+  return s;
 }
 
 }  // namespace
@@ -310,11 +312,11 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
     throw std::invalid_argument(
         "StencilSolver: kappa shape must match the initial grid");
   if (cfg.op == Operator::kLbm) {
+    lbm::LbmState s(lbm::geometry_from_codes(kappa), cfg.lbm, initial,
+                    cfg.lbm_storage);
+    s.prefetch = cfg.lbm_prefetch;
     impl_ = std::make_unique<OpImpl<lbm::LbmOp>>(
-        cfg, initial,
-        OpState<lbm::LbmOp>{
-            lbm::LbmState(lbm::geometry_from_codes(kappa), cfg.lbm,
-                          initial, cfg.lbm_storage)});
+        cfg, initial, OpState<lbm::LbmOp>{std::move(s)});
     return;
   }
   impl_ = std::make_unique<OpImpl<VarCoefOp>>(

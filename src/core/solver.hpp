@@ -97,6 +97,14 @@ struct SolverConfig {
   /// lbm analogue of varcoef's material field.
   bool lbm_geometry_from_aux = false;
 
+  /// Software-prefetch distance (cells ahead) for the lbm row kernel's
+  /// 19 pull streams; 0 disables.  A tuner axis: the D3Q19 gather runs
+  /// more concurrent read streams than the hardware prefetcher tracks,
+  /// so the model (NodeModel::gather_efficiency) charges the un-prefetched
+  /// kernel a gather penalty and the search space fans the distance.
+  /// Ignored by every other operator.  Never changes results.
+  int lbm_prefetch = 0;
+
   /// Requested *meta* variant (e.g. "auto", resolved to a concrete
   /// variant by a factory registered through core/registry.hpp).  Empty
   /// for concrete variants; when set, `variant`/`pipeline` hold the

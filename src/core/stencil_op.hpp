@@ -150,6 +150,44 @@ struct VarCoefOp {
 
   const DiffusionCoefficients* coeffs = nullptr;
 
+  /// One cell — single source of truth for the floating-point expression.
+  static double cell(const double* c, const double* jm, const double* jp,
+                     const double* km, const double* kp, const double* cxm,
+                     const double* cxp, const double* cym, const double* cyp,
+                     const double* czm, const double* czp, int i) {
+    const double denom = cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
+    return denom > 0
+               ? (cxm[i] * c[i - 1] + cxp[i] * c[i + 1] + cym[i] * jm[i] +
+                  cyp[i] * jp[i] + czm[i] * km[i] + czp[i] * kp[i]) /
+                     denom
+               : c[i];
+  }
+
+  /// W cells of cell(), elementwise.  The scalar branch on denom becomes a
+  /// lane blend; masked-off lanes divide by a substituted 1.0 so no lane
+  /// ever divides by zero (the quotient is discarded by the blend), and
+  /// selected lanes see the identical num/denom the scalar path computes.
+  static util::simd::dvec cell_vec(const double* c, const double* jm,
+                                   const double* jp, const double* km,
+                                   const double* kp, const double* cxm,
+                                   const double* cxp, const double* cym,
+                                   const double* cyp, const double* czm,
+                                   const double* czp, int i) {
+    using V = util::simd::dvec;
+    const V vxm = V::load(cxm + i);
+    const V vxp = V::load(cxp + i);
+    const V vym = V::load(cym + i);
+    const V vyp = V::load(cyp + i);
+    const V vzm = V::load(czm + i);
+    const V vzp = V::load(czp + i);
+    const V denom = vxm + vxp + vym + vyp + vzm + vzp;
+    const V num = vxm * V::load(c + i - 1) + vxp * V::load(c + i + 1) +
+                  vym * V::load(jm + i) + vyp * V::load(jp + i) +
+                  vzm * V::load(km + i) + vzp * V::load(kp + i);
+    const V safe = V::select_gt_zero(denom, denom, V::broadcast(1.0));
+    return V::select_gt_zero(denom, num / safe, V::load(c + i));
+  }
+
   void row(double* __restrict__ dst, const double* __restrict__ c,
            const double* __restrict__ jm, const double* __restrict__ jp,
            const double* __restrict__ km, const double* __restrict__ kp,
@@ -160,16 +198,13 @@ struct VarCoefOp {
     const double* cyp = coeffs->face(3).row(j, k);
     const double* czm = coeffs->face(4).row(j, k);
     const double* czp = coeffs->face(5).row(j, k);
-    TB_IVDEP
-    for (int i = i0; i < i1; ++i) {
-      const double denom =
-          cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
-      dst[i] = denom > 0
-                   ? (cxm[i] * c[i - 1] + cxp[i] * c[i + 1] + cym[i] * jm[i] +
-                      cyp[i] * jp[i] + czm[i] * km[i] + czp[i] * kp[i]) /
-                         denom
-                   : c[i];
-    }
+    constexpr int W = util::simd::dvec::kWidth;
+    int i = i0;
+    for (; i + W <= i1; i += W)
+      cell_vec(c, jm, jp, km, kp, cxm, cxp, cym, cyp, czm, czp, i)
+          .store(dst + i);
+    for (; i < i1; ++i)
+      dst[i] = cell(c, jm, jp, km, kp, cxm, cxp, cym, cyp, czm, czp, i);
   }
 
   void row_reverse(double* __restrict__ dst, const double* __restrict__ c,
@@ -184,16 +219,13 @@ struct VarCoefOp {
     const double* cyp = coeffs->face(3).row(j, k);
     const double* czm = coeffs->face(4).row(j, k);
     const double* czp = coeffs->face(5).row(j, k);
-    TB_IVDEP
-    for (int i = i1 - 1; i >= i0; --i) {
-      const double denom =
-          cxm[i] + cxp[i] + cym[i] + cyp[i] + czm[i] + czp[i];
-      dst[i] = denom > 0
-                   ? (cxm[i] * c[i - 1] + cxp[i] * c[i + 1] + cym[i] * jm[i] +
-                      cyp[i] * jp[i] + czm[i] * km[i] + czp[i] * kp[i]) /
-                         denom
-                   : c[i];
-    }
+    constexpr int W = util::simd::dvec::kWidth;
+    int i = i1 - W;
+    for (; i >= i0; i -= W)
+      cell_vec(c, jm, jp, km, kp, cxm, cxp, cym, cyp, czm, czp, i)
+          .store(dst + i);
+    for (i += W - 1; i >= i0; --i)
+      dst[i] = cell(c, jm, jp, km, kp, cxm, cxp, cym, cyp, czm, czp, i);
   }
 
   void row_nt(double* dst, const double* c, const double* jm,
@@ -245,6 +277,32 @@ struct Box27Op {
     return (corners + 2.0 * edges + (4.0 * faces + 8.0 * c[i])) / 64.0;
   }
 
+  /// W cells of cell(), elementwise, identical grouping per lane.
+  static util::simd::dvec cell_vec(const double* c, const double* jm,
+                                   const double* jp, const double* km,
+                                   const double* kp, const double* kmjm,
+                                   const double* kmjp, const double* kpjm,
+                                   const double* kpjp, int i) {
+    using V = util::simd::dvec;
+    const V corners = (V::load(kmjm + i - 1) + V::load(kmjm + i + 1)) +
+                      (V::load(kmjp + i - 1) + V::load(kmjp + i + 1)) +
+                      (V::load(kpjm + i - 1) + V::load(kpjm + i + 1)) +
+                      (V::load(kpjp + i - 1) + V::load(kpjp + i + 1));
+    const V edges = (V::load(jm + i - 1) + V::load(jm + i + 1)) +
+                    (V::load(jp + i - 1) + V::load(jp + i + 1)) +
+                    (V::load(km + i - 1) + V::load(km + i + 1)) +
+                    (V::load(kp + i - 1) + V::load(kp + i + 1)) +
+                    (V::load(kmjm + i) + V::load(kmjp + i)) +
+                    (V::load(kpjm + i) + V::load(kpjp + i));
+    const V faces = (V::load(c + i - 1) + V::load(c + i + 1)) +
+                    (V::load(jm + i) + V::load(jp + i)) +
+                    (V::load(km + i) + V::load(kp + i));
+    return (corners + V::broadcast(2.0) * edges +
+            (V::broadcast(4.0) * faces +
+             V::broadcast(8.0) * V::load(c + i))) /
+           V::broadcast(64.0);
+  }
+
   void row(double* dst, const double* c, const double* jm, const double* jp,
            const double* km, const double* kp, int /*level*/, int /*j*/,
            int /*k*/, int i0, int i1) const {
@@ -254,12 +312,16 @@ struct Box27Op {
     const double* kmjp = km + up;
     const double* kpjm = kp + dn;
     const double* kpjp = kp + up;
-    // TB_IVDEP is sound despite the compressed-scheme aliasing: within a
-    // row every aliased location is read only at iterations at-or-before
-    // the one that overwrites it (write-after-read), and vectorization
-    // only moves reads earlier and writes later, which preserves WAR.
-    TB_IVDEP
-    for (int i = i0; i < i1; ++i)
+    // The W-cell blocks are sound despite the compressed-scheme aliasing:
+    // within a row every aliased location is read only at iterations
+    // at-or-before the one that overwrites it (write-after-read), and a
+    // read-all-lanes-then-write-all-lanes block only moves reads earlier
+    // and writes later, which preserves WAR.
+    constexpr int W = util::simd::dvec::kWidth;
+    int i = i0;
+    for (; i + W <= i1; i += W)
+      cell_vec(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i).store(dst + i);
+    for (; i < i1; ++i)
       dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
   }
 
@@ -273,8 +335,12 @@ struct Box27Op {
     const double* kmjp = km + up;
     const double* kpjm = kp + dn;
     const double* kpjp = kp + up;
-    TB_IVDEP  // same WAR-only argument as row(), mirrored for descending i
-    for (int i = i1 - 1; i >= i0; --i)
+    // Same WAR-only argument as row(), mirrored for descending i.
+    constexpr int W = util::simd::dvec::kWidth;
+    int i = i1 - W;
+    for (; i >= i0; i -= W)
+      cell_vec(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i).store(dst + i);
+    for (i += W - 1; i >= i0; --i)
       dst[i] = cell(c, jm, jp, km, kp, kmjm, kmjp, kpjm, kpjp, i);
   }
 

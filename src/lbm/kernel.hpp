@@ -29,6 +29,7 @@
 
 #include "core/blocks.hpp"
 #include "lbm/lattice.hpp"
+#include "util/simd.hpp"
 
 namespace tb::lbm {
 
@@ -80,6 +81,53 @@ inline double collide(const LbmConfig& cfg, std::array<double, kQ>& f) {
                                    double eu) {
     const double a = wr * (base + 4.5 * (eu * eu));
     const double b = wr * (3.0 * eu);
+    relax(fp, a + b);
+    relax(fm, a - b);
+  };
+  pair(f[1], f[2], wr_axis, ux);
+  pair(f[3], f[4], wr_axis, uy);
+  pair(f[5], f[6], wr_axis, uz);
+  pair(f[7], f[8], wr_diag, ux + uy);
+  pair(f[9], f[10], wr_diag, ux - uy);
+  pair(f[11], f[12], wr_diag, ux + uz);
+  pair(f[13], f[14], wr_diag, ux - uz);
+  pair(f[15], f[16], wr_diag, uy + uz);
+  pair(f[17], f[18], wr_diag, uy - uz);
+  return rho;
+}
+
+/// collide() over a vector of W cells at once — the SoA lane-group form
+/// of the scalar function above, used by the row kernel's fully-fluid
+/// blocks.  Vectorization is ACROSS cells only: lane l carries cell l's
+/// moments/equilibria through the very same expression tree, operator by
+/// operator, as the scalar collide() (every vec op is the elementwise
+/// IEEE double op and contraction is off build-wide), so each lane's
+/// result is bit-identical to the scalar path.  No reduction is ever
+/// performed within a lane's 19 distributions by vector shuffles — the
+/// per-cell accumulation order stays the canonical scalar one.
+template <class V>
+inline V collide_vec(const LbmConfig& cfg, std::array<V, kQ>& f) {
+  const V rho = f[0] + f[1] + f[2] + f[3] + f[4] + f[5] + f[6] + f[7] +
+                f[8] + f[9] + f[10] + f[11] + f[12] + f[13] + f[14] +
+                f[15] + f[16] + f[17] + f[18];
+  const V mx = f[1] - f[2] + f[7] - f[8] + f[9] - f[10] + f[11] - f[12] +
+               f[13] - f[14];
+  const V my = f[3] - f[4] + f[7] - f[8] - f[9] + f[10] + f[15] - f[16] +
+               f[17] - f[18];
+  const V mz = f[5] - f[6] + f[11] - f[12] - f[13] + f[14] + f[15] -
+               f[16] - f[17] + f[18];
+  const V inv_rho = V::broadcast(1.0) / rho;
+  const V ux = mx * inv_rho, uy = my * inv_rho, uz = mz * inv_rho;
+  const V base = V::broadcast(1.0) -
+                 V::broadcast(1.5) * (ux * ux + uy * uy + uz * uz);
+  const V wr_axis = V::broadcast(1.0 / 18.0) * rho;
+  const V wr_diag = V::broadcast(1.0 / 36.0) * rho;
+  const V om = V::broadcast(cfg.omega);
+  const auto relax = [om](V& fq, V feq) { fq = fq - om * (fq - feq); };
+  relax(f[0], V::broadcast(1.0 / 3.0) * rho * base);
+  const auto pair = [base, &relax](V& fp, V& fm, V wr, V eu) {
+    const V a = wr * (base + V::broadcast(4.5) * (eu * eu));
+    const V b = wr * (V::broadcast(3.0) * eu);
     relax(fp, a + b);
     relax(fm, a - b);
   };
@@ -159,12 +207,44 @@ struct LatticeRow {
 /// out[] aliases fl[]/bb[]) correct.  Traversal direction is a template
 /// parameter because the compressed scheme's carrier aliasing dictates
 /// the i order; the lattice writes themselves are order-independent.
-template <bool Reverse>
+///
+/// Cell-blocked SoA vectorization: runs of W cells whose masks are all
+/// zero (the overwhelming case on interior rows of the cavity) transpose
+/// their 19 distributions into W-wide registers — load f[q] of cells
+/// i..i+W-1 from the contiguous row r.fl[q] + i — and go through
+/// collide_vec, which applies the canonical scalar expression elementwise
+/// across the lane group.  A W-block reads all 19*W fin before writing
+/// any fout, the same read-all-then-write-all discipline as the scalar
+/// cell, so the in-place AA wirings remain correct (a stream-step slot
+/// (q, x + e_q) has cell x as its only level-L reader AND writer, and
+/// local-step writes touch only the writing cell's own slots — no
+/// cross-lane hazard exists inside a block).  Blocks containing any
+/// masked cell fall back to the scalar per-lane path in traversal order.
+///
+/// `StreamCarrier` / `StreamLattice` select non-temporal stores for the
+/// W-block writes of the carrier dst resp. the 19 fout rows.  Nothing
+/// reads a level-L store before level L+1, so skipping the
+/// write-allocate is safe for both; the split exists because only
+/// unshifted out rows share the carrier's alignment class and only
+/// stores to lines the update did NOT already load gain anything — the
+/// two-lattice wiring streams both, the in-place AA wirings stream just
+/// the carrier (their lattice stores hit freshly loaded lines, and the
+/// stream step's +e[0] shift is off-alignment anyway).  Rows start
+/// 64-byte aligned, so a scalar prologue peels to i % W == 0 and every
+/// vector store in the row is aligned.
+///
+/// `prefetch` > 0 issues a software prefetch `prefetch` cells ahead on
+/// each of the 19 pull streams per block — the 19-pointer gather is
+/// exactly the access pattern that exhausts the hardware prefetcher's
+/// stream budget.  Prefetches never fault, so no end-of-row clamp.
+template <bool Reverse, bool StreamCarrier = false,
+          bool StreamLattice = false>
 inline void masked_stream_collide_row(const LbmConfig& cfg,
                                       const LidTerms& lid,
                                       const std::uint64_t* mask,
                                       const LatticeRow& r, double* dst,
-                                      const double* c, int i0, int i1) {
+                                      const double* c, int i0, int i1,
+                                      int prefetch = 0) {
   const auto cell = [&](int i) {
     const std::uint64_t m = mask[i];
     if (m & kMaskSolid) {
@@ -189,10 +269,78 @@ inline void masked_stream_collide_row(const LbmConfig& cfg,
     for (int q = 0; q < kQ; ++q)
       r.out[static_cast<std::size_t>(q)][i] = f[static_cast<std::size_t>(q)];
   };
+
+  using V = util::simd::dvec;
+  constexpr int W = V::kWidth;
+
+  // OR of the W cell masks: zero iff the whole block is interior fluid.
+  const auto block_mask = [&](int i) {
+    std::uint64_t m = 0;
+    for (int l = 0; l < W; ++l) m |= mask[i + l];
+    return m;
+  };
+
+  // One fully-fluid W-block: transpose-load, collide across lanes, write.
+  const auto block = [&](int i) {
+    if (prefetch > 0)
+      for (int q = 0; q < kQ; ++q)
+        util::simd::prefetch_read(r.fl[static_cast<std::size_t>(q)] + i +
+                                  prefetch);
+    std::array<V, kQ> f;
+    for (int q = 0; q < kQ; ++q)
+      f[static_cast<std::size_t>(q)] =
+          V::load(r.fl[static_cast<std::size_t>(q)] + i);
+    const V rho = collide_vec(cfg, f);
+    if constexpr (StreamCarrier) {
+      rho.stream(dst + i);
+    } else {
+      rho.store(dst + i);
+    }
+    if constexpr (StreamLattice) {
+      for (int q = 0; q < kQ; ++q)
+        f[static_cast<std::size_t>(q)].stream(
+            r.out[static_cast<std::size_t>(q)] + i);
+    } else {
+      for (int q = 0; q < kQ; ++q)
+        f[static_cast<std::size_t>(q)].store(
+            r.out[static_cast<std::size_t>(q)] + i);
+    }
+  };
+
   if constexpr (Reverse) {
-    for (int i = i1 - 1; i >= i0; --i) cell(i);
+    // Descending blocks; mixed blocks run their lanes descending too, so
+    // the carrier writes keep the exact order the compressed scheme's
+    // row-level aliasing argument assumes.  No Stream flavor here: the
+    // reverse traversal only exists for cache-resident blocked sweeps.
+    int i = i1 - W;
+    for (; i >= i0; i -= W) {
+      if (block_mask(i) == 0) {
+        block(i);
+      } else {
+        for (int l = W - 1; l >= 0; --l) cell(i + l);
+      }
+    }
+    for (i += W - 1; i >= i0; --i) cell(i);
   } else {
-    for (int i = i0; i < i1; ++i) cell(i);
+    int i = i0;
+    if constexpr (StreamCarrier || StreamLattice) {
+      // Peel to the store alignment the streaming instructions require:
+      // rows start 64-byte aligned, so dst + i (and every out[q] + i of
+      // the two-lattice wiring) is vector-aligned iff i % W == 0.
+      constexpr std::uintptr_t kVecBytes = W * sizeof(double);
+      for (; i < i1 &&
+             (reinterpret_cast<std::uintptr_t>(dst + i) % kVecBytes) != 0;
+           ++i)
+        cell(i);
+    }
+    for (; i + W <= i1; i += W) {
+      if (block_mask(i) == 0) {
+        block(i);
+      } else {
+        for (int l = 0; l < W; ++l) cell(i + l);
+      }
+    }
+    for (; i < i1; ++i) cell(i);
   }
 }
 

@@ -284,6 +284,11 @@ class LbmState {
 
   core::LevelOrigin origin;  ///< run-local level -> absolute level
 
+  /// Software-prefetch distance (cells ahead) for the row kernel's 19
+  /// pull streams; 0 disables.  A tuner axis (SolverConfig::lbm_prefetch)
+  /// — purely a performance hint, never changes results.
+  int prefetch = 0;
+
  private:
   void require_two_lattice(const char* fn) const {
     if (storage_ != LbmStorage::kTwoLattice)
@@ -318,7 +323,14 @@ class LbmState {
 /// before storing.
 struct LbmOp {
   static constexpr int kHalo = 1;
-  static constexpr bool kHasNontemporal = false;
+  // Every level-L store is first read at level L+1, so skipping the
+  // write-allocate with non-temporal stores is pure win for the standard
+  // algorithm.  The two-lattice wiring streams the carrier and all 19
+  // fout rows; the AA wirings stream only the carrier — their lattice
+  // writes land in lines the update just loaded (no write-allocate to
+  // skip), and the stream step's +e[0]-shifted stores are off the
+  // alignment class anyway.
+  static constexpr bool kHasNontemporal = true;
 
   LbmState* state = nullptr;
 
@@ -336,17 +348,20 @@ struct LbmOp {
     row_impl<true>(dst, c, level, j, k, i0, i1);
   }
 
-  void row_nt(double* dst, const double* c, const double* jm,
-              const double* jp, const double* km, const double* kp,
-              int level, int j, int k, int i0, int i1) const {
-    row(dst, c, jm, jp, km, kp, level, j, k, i0, i1);  // no streaming path
+  void row_nt(double* dst, const double* c, const double* /*jm*/,
+              const double* /*jp*/, const double* /*km*/,
+              const double* /*kp*/, int level, int j, int k, int i0,
+              int i1) const {
+    // row_impl narrows the flag per wiring: two-lattice streams carrier
+    // and lattice, AA streams the carrier only (see kHasNontemporal).
+    row_impl<false, util::simd::kHasStream>(dst, c, level, j, k, i0, i1);
   }
 
  private:
   /// Wires the row pointer bundle for the storage policy and the level
   /// parity, then runs the shared masked kernel.  The three wirings are
   /// documented at lbm::LatticeRow.
-  template <bool Reverse>
+  template <bool Reverse, bool Stream = false>
   void row_impl(double* dst, const double* c, int level, int j, int k,
                 int i0, int i1) const {
     LbmState& s = *state;
@@ -362,7 +377,12 @@ struct LbmOp {
         r.bb[uq] = src.f(opposite(q)).row(j, k);
         r.out[uq] = dst_lat.f(q).row(j, k);
       }
-    } else if (((abs_level % 2) + 2) % 2 == 1) {
+      masked_stream_collide_row<Reverse, Stream, Stream>(
+          s.config(), s.lid_terms(), s.mask_row(j, k), r, dst, c, i0, i1,
+          s.prefetch);
+      return;
+    }
+    if (((abs_level % 2) + 2) % 2 == 1) {
       // AA local step (produces an odd level): cell-local reads of the
       // streamed arrangement, writes into the opposite slots.
       Lattice& a = s.aa();
@@ -387,9 +407,12 @@ struct LbmOp {
         r.out[uq] = a.f(q).row(j + e[1], k + e[2]) + e[0];
       }
     }
-    masked_stream_collide_row<Reverse>(s.config(), s.lid_terms(),
-                                       s.mask_row(j, k), r, dst, c, i0,
-                                       i1);
+    // AA wirings stream the carrier only: the in-place lattice writes
+    // hit already-loaded lines (nothing to skip), and the stream step's
+    // +e[0] shift breaks the lattice stores' alignment class anyway.
+    masked_stream_collide_row<Reverse, Stream, false>(
+        s.config(), s.lid_terms(), s.mask_row(j, k), r, dst, c, i0, i1,
+        s.prefetch);
   }
 };
 

@@ -54,6 +54,15 @@ struct OperatorTraffic {
   /// six coefficients, lbm's two 19-component lattices) scale it up so
   /// the Sec. 1.3 capacity estimate sees their real working set.
   double block_state_factor = 1.0;
+
+  /// Concurrent read streams one row sweep advances (distinct arrays /
+  /// row pointers walked in lockstep): what the hardware prefetcher must
+  /// track.  5 for the 7-point carriers (c, j±1, k±1), 11 for varcoef
+  /// (+6 coefficient rows), 9 for box27's row set, 21 for the D3Q19 pull
+  /// (19 distributions + carrier + mask).  Feeds
+  /// NodeModel::gather_efficiency, which discounts operators exceeding
+  /// the tracker budget unless software prefetch covers them.
+  double read_streams = 5.0;
 };
 
 /// Traffic of a registry operator by name — the single table the tuner's
@@ -68,16 +77,22 @@ struct OperatorTraffic {
   } else if (op == "varcoef") {
     t.aux_bytes = 6 * sizeof(double);  // six face-coefficient fields
     t.block_state_factor = 1.0 + t.aux_bytes / t.mem_bytes;
+    t.read_streams = 11.0;  // 5 solution rows + 6 coefficient rows
+  } else if (op == "box27") {
+    t.read_streams = 9.0;  // c, j±1, k±1 and the four diagonal rows
   } else if (op == "lbm") {
     // Two-lattice ping-pong: 19 distributions read + written (incl.
     // write-allocate) per update, plus the density carrier's own
     // two-grid traffic; the bounce-back mask streams one read-only
-    // 8-byte word per cell.  No streaming-store path: the pull-scheme
-    // gather reads the destination neighborhood.
+    // 8-byte word per cell.  The SoA row kernel streams its stores
+    // (every level-L fout is first read at level L+1, never sooner), so
+    // the NT path drops the write-allocate of all 19 distributions and
+    // the carrier: 19 * (8 read + 8 write) + (8 + 8).
     t.mem_bytes = 19 * 24.0 + 24.0;
-    t.mem_bytes_nt = t.mem_bytes;
+    t.mem_bytes_nt = 19 * 16.0 + 16.0;
     t.aux_bytes = 8.0;
     t.halo_fields = 20.0;  // density carrier + 19 distribution fields
+    t.read_streams = 21.0;  // 19 distributions + carrier + mask row
     // In-flight state per cell: both parities of the 19 distributions
     // plus both carrier grids plus the mask word, relative to the
     // 8 B/cell carrier block the capacity gate is fed.
@@ -88,9 +103,13 @@ struct OperatorTraffic {
     // no second lattice, no write-allocate.  19 * (8 read + 8 write)
     // plus the carrier's two-grid traffic and the 8-byte mask word.
     t.mem_bytes = 19 * 16.0 + 24.0;
-    t.mem_bytes_nt = t.mem_bytes;
+    // The in-place lattice stores have no write-allocate to skip, but
+    // the carrier still two-grids — streaming ITS store drops one line:
+    // same 320 B/LUP floor as the streamed ping-pong.
+    t.mem_bytes_nt = 19 * 16.0 + 16.0;
     t.aux_bytes = 8.0;
     t.halo_fields = 20.0;  // same fields; dist rejects AA anyway
+    t.read_streams = 21.0;  // same 19-pointer pull as the ping-pong
     // Single resident lattice + both carrier grids + the mask word.
     t.block_state_factor = (19 * 8.0 + 2 * 8.0 + 8.0) / 8.0;
   }
@@ -130,13 +149,38 @@ class NodeModel {
            std::clamp(groups, 1, spec_.sockets);
   }
 
+  /// Concurrent read streams the hardware prefetcher tracks per core —
+  /// beyond this, demand misses stall the pull and effective bandwidth
+  /// drops unless software prefetch covers the overflow.  Typical L2
+  /// stream-tracker budget on the x86 parts the paper measures.
+  static constexpr double kHwPrefetchStreams = 12.0;
+
+  /// Fraction of the streaming bandwidth an operator's read pattern
+  /// actually achieves.  Operators within the hardware tracker budget run
+  /// at full rate; the D3Q19 gather (21 streams) overruns it and pays a
+  /// latency penalty growing with the untracked fraction.  Software
+  /// prefetch (prefetch_dist > 0) restores the overrun streams but costs
+  /// a small instruction overhead — issuing it on an operator that does
+  /// not need it is a (mild) pessimization, which is exactly the
+  /// trade-off the ranker must see to order the prefetch axis honestly.
+  [[nodiscard]] static double gather_efficiency(const OperatorTraffic& op,
+                                                int prefetch_dist) {
+    constexpr double kPrefetchOverhead = 0.98;
+    if (op.read_streams <= kHwPrefetchStreams)
+      return prefetch_dist > 0 ? kPrefetchOverhead : 1.0;
+    if (prefetch_dist > 0) return kPrefetchOverhead;
+    return 1.0 - 0.25 * (1.0 - kHwPrefetchStreams / op.read_streams);
+  }
+
   /// Predicted throughput of the standard spatially blocked solver
-  /// [LUP/s] (Eq. (2) generalized to the operator's traffic).
+  /// [LUP/s] (Eq. (2) generalized to the operator's traffic, discounted
+  /// by the read pattern's gather efficiency).
   [[nodiscard]] double baseline_lups(const OperatorTraffic& op, int threads,
-                                     bool nontemporal) const {
+                                     bool nontemporal,
+                                     int prefetch_dist = 0) const {
     const double mem = (nontemporal ? op.mem_bytes_nt : op.mem_bytes) +
                        op.aux_bytes;
-    return mem_bw(threads) / mem;
+    return gather_efficiency(op, prefetch_dist) * mem_bw(threads) / mem;
   }
 
   /// Predicted throughput of pipelined temporal blocking [LUP/s]:

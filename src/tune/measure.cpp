@@ -33,8 +33,9 @@ Candidate project_to_probe(Candidate c, const Problem& p, int nx, int ny,
   // problem's working set, but the probe grid is usually cache-resident,
   // where NT stores only lose; measurement and deployment must each
   // apply the paper's Sec. 1.1 criterion to the grid they actually run.
-  if (c.cfg.variant == core::Variant::kBaseline &&
-      c.cfg.baseline.nontemporal)
+  // Every variant carries the flag now (the blocked schemes' remainder
+  // sweeps are baseline sweeps), so re-derive it wherever it is set.
+  if (c.cfg.baseline.nontemporal)
     c.cfg.baseline.nontemporal = nontemporal_pays(p.op, nx, ny, nz, machine);
   return c;
 }

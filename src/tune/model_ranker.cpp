@@ -25,7 +25,8 @@ double predict_mlups(const Candidate& c, const Problem& p,
       break;
     case core::Variant::kBaseline:
       lups = model.baseline_lups(traffic, c.cfg.baseline.threads,
-                                 c.cfg.baseline.nontemporal);
+                                 c.cfg.baseline.nontemporal,
+                                 c.cfg.lbm_prefetch);
       break;
     case core::Variant::kPipelined: {
       const core::PipelineConfig& pl = c.cfg.pipeline;

@@ -79,15 +79,18 @@ struct Candidate {
     dst.baseline = cfg.baseline;
     dst.wavefront = cfg.wavefront;
     dst.lbm_storage = cfg.lbm_storage;
+    dst.lbm_prefetch = cfg.lbm_prefetch;
     dst.meta.clear();
   }
 
   [[nodiscard]] std::string describe() const {
-    // Non-lbm candidates never carry kAA, so the tag only ever shows on
-    // lattice-Boltzmann schedules.
+    // Non-lbm candidates never carry kAA or a prefetch distance, so the
+    // tags only ever show on lattice-Boltzmann schedules.
     const std::string variant_tag =
         variant +
-        (cfg.lbm_storage == lbm::LbmStorage::kAA ? "+aa" : "");
+        (cfg.lbm_storage == lbm::LbmStorage::kAA ? "+aa" : "") +
+        (cfg.lbm_prefetch > 0 ? "+pf" + std::to_string(cfg.lbm_prefetch)
+                              : "");
     switch (cfg.variant) {
       case core::Variant::kPipelined:
         return variant_tag + "[n=" + std::to_string(cfg.pipeline.teams) +

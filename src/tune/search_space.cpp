@@ -47,9 +47,13 @@ bool nontemporal_pays(const std::string& op, int nx, int ny, int nz,
       perfmodel::operator_traffic(op);
   if (traffic.mem_bytes_nt >= traffic.mem_bytes)
     return false;  // the operator has no streaming-store row path
-  return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * nz *
-             (2 * sizeof(double)) >
-         machine.shared_cache_bytes;
+  // Working set of one sweep: the carrier pair scaled by the operator's
+  // resident per-cell state (block_state_factor covers the lbm lattices,
+  // the varcoef coefficients, ...).  Streaming stores only pay once that
+  // set spills the outer cache; below it the write-allocate is a hit.
+  return static_cast<double>(nx) * ny * nz * (2 * sizeof(double)) *
+             traffic.block_state_factor >
+         static_cast<double>(machine.shared_cache_bytes);
 }
 
 std::vector<Candidate> enumerate_candidates(
@@ -74,10 +78,20 @@ std::vector<Candidate> enumerate_candidates(
       p.op == "lbm" ? std::vector<Storage>{Storage::kTwoLattice, Storage::kAA}
       : p.op == "lbm:aa" ? std::vector<Storage>{Storage::kAA}
                          : std::vector<Storage>{Storage::kTwoLattice};
-  auto emit = [&out, &storages](Candidate c) {
+  // Software-prefetch distance for the D3Q19 gather (cells ahead on each
+  // of the 19 pull streams) — only the lbm operators overrun the
+  // hardware stream tracker, so only they fan the axis; 16 cells (two
+  // cache lines at W=8) is the classic pull-scheme distance.
+  const std::vector<int> prefetches =
+      (p.op == "lbm" || p.op == "lbm:aa") ? std::vector<int>{0, 16}
+                                          : std::vector<int>{0};
+  auto emit = [&out, &storages, &prefetches](Candidate c) {
     for (Storage s : storages) {
       c.cfg.lbm_storage = s;
-      out.push_back(c);
+      for (int pf : prefetches) {
+        c.cfg.lbm_prefetch = pf;
+        out.push_back(c);
+      }
     }
   };
 
@@ -140,10 +154,13 @@ std::vector<Candidate> enumerate_candidates(
               c.cfg.pipeline.dl = 1;
               c.cfg.pipeline.du = du;
               // Remainder steps (not a multiple of the depth) fall back
-              // to baseline sweeps with the same thread count.
+              // to baseline sweeps with the same thread count; whether
+              // THEY stream is the operator/grid capability question,
+              // not a per-variant constant.
               c.cfg.baseline.threads = teams * t;
               c.cfg.baseline.block = {p.nx, tile, tile};
-              c.cfg.baseline.nontemporal = false;
+              c.cfg.baseline.nontemporal =
+                  nontemporal_pays(p.op, p.nx, p.ny, p.nz, machine);
               c.cfg.pipeline.validate();
               emit(c);
             }
@@ -168,7 +185,8 @@ std::vector<Candidate> enumerate_candidates(
         c.cfg.wavefront.threads = th;
         c.cfg.wavefront.by = clipped;
         c.cfg.baseline.threads = th;  // remainder fallback
-        c.cfg.baseline.nontemporal = false;
+        c.cfg.baseline.nontemporal =
+            nontemporal_pays(p.op, p.nx, p.ny, p.nz, machine);
         emit(c);
       }
     }

@@ -193,6 +193,7 @@ std::size_t TuningCache::load() {
     e.plan.cfg.lbm_storage = as_int(o, "lbm_aa", 0) != 0
                                  ? lbm::LbmStorage::kAA
                                  : lbm::LbmStorage::kTwoLattice;
+    e.plan.cfg.lbm_prefetch = as_int(o, "lbm_prefetch", 0);
 
     e.plan.predicted_mlups = as_double(o, "predicted_mlups", 0.0);
     e.plan.measured_mlups = as_double(o, "measured_mlups", 0.0);
@@ -242,6 +243,7 @@ bool TuningCache::save() const {
         << ", \"wf_threads\": " << wf.threads << ", \"wf_by\": " << wf.by
         << ", \"lbm_aa\": "
         << (e.plan.cfg.lbm_storage == lbm::LbmStorage::kAA ? 1 : 0)
+        << ", \"lbm_prefetch\": " << e.plan.cfg.lbm_prefetch
         << ",\n     \"predicted_mlups\": " << e.plan.predicted_mlups
         << ", \"measured_mlups\": " << e.plan.measured_mlups << "}"
         << (i + 1 < entries_.size() ? "," : "") << "\n";

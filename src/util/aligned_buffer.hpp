@@ -7,15 +7,30 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
 #include <utility>
+
+#include "util/simd.hpp"
 
 namespace tb::util {
 
 /// Default alignment for grid storage: one cache line, which also satisfies
 /// every SIMD extension up to AVX-512.
 inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Load-bearing version of that promise: a Grid3 row pitch padded to
+// kCacheLineBytes must start every row on a full native-vector boundary,
+// or the aligned loads / non-temporal stores of the vec row kernels
+// fault.  If a future ISA widens past the cache line this trips at
+// compile time instead of at the first _mm*_stream_pd.
+static_assert(kCacheLineBytes %
+                      (static_cast<std::size_t>(simd::kNativeWidth) *
+                       sizeof(double)) ==
+                  0,
+              "cache-line padding no longer implies native SIMD alignment");
 
 /// Owning, cache-line-aligned raw buffer of `T`.
 ///
@@ -34,6 +49,16 @@ class AlignedBuffer {
     const std::size_t bytes = round_up(count * sizeof(T), alignment);
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc{};
+    // aligned_alloc contracts this already; verify it anyway — the vec
+    // row kernels derive "row + i is vector-aligned iff i % W == 0" from
+    // it, and a misaligned base would turn their streaming stores into
+    // hard faults far from the allocation site.
+    if (reinterpret_cast<std::uintptr_t>(data_) % alignment != 0) {
+      std::free(data_);
+      data_ = nullptr;
+      throw std::runtime_error(
+          "AlignedBuffer: allocator returned a misaligned block");
+    }
   }
 
   AlignedBuffer(const AlignedBuffer&) = delete;
