@@ -11,9 +11,9 @@
 #include "core/compressed.hpp"
 #include "core/reference.hpp"
 #include "core/solver.hpp"
+#include "obs/rundb.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
-#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
         rc.mlups / r2.mlups);
   t.print();
   t.write_csv("compressed_ablation.csv");
-  tb::util::write_bench_json(
+  tb::obs::write_bench_json(
       "compressed",
       {{"two-grid/jacobi", r2.mem_bytes / (1.0 * n * n * n * S), r2.mlups},
        {"compressed/jacobi", rc.mem_bytes / (1.0 * n * n * n * S),

@@ -21,10 +21,10 @@
 #include "core/kernels.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "obs/rundb.hpp"
 #include "perfmodel/model_api.hpp"
 #include "topo/machine.hpp"
 #include "util/args.hpp"
-#include "util/bench_report.hpp"
 #include "util/simd.hpp"
 #include "util/table.hpp"
 
@@ -74,14 +74,14 @@ int main(int argc, char** argv) {
               host.name.c_str(), util::simd::kIsaName,
               util::simd::kNativeWidth);
 
-  std::vector<util::BenchEntry> report;
+  std::vector<obs::RunRow> report;
   util::TableWriter t({"kernel", "bytes/LUP", "MLUP/s", "GB/s",
                        "model MLUP/s", "meas/model"});
   auto add = [&](const std::string& name, double bpl, double mlups,
                  double predicted) {
     t.add(name, bpl, mlups, mlups * bpl / 1e3, predicted,
           predicted > 0 ? mlups / predicted : 0.0);
-    report.push_back({name, bpl, mlups});
+    report.push_back({name, bpl, mlups, predicted});
   };
 
   // ---- row kernels: one long x-row, repeatedly re-swept ---------------
@@ -177,6 +177,6 @@ int main(int argc, char** argv) {
       "\nrow/* re-sweeps one %d-cell row (mostly cache-resident: kernel "
       "ceiling); baseline/* sweeps %d^3 / %d^3 grids through memory.\n",
       nrow, n, lbm_n);
-  util::write_bench_json("kernels", report);
+  obs::write_bench_json("kernels", report);
   return 0;
 }

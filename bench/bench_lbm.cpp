@@ -13,10 +13,12 @@
 
 #include "core/registry.hpp"
 #include "lbm/stencil_op.hpp"
+#include "obs/accounting.hpp"
+#include "obs/rundb.hpp"
 #include "perfmodel/model_api.hpp"
 #include "sim/node_sim.hpp"
+#include "topo/machine.hpp"
 #include "util/args.hpp"
-#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -125,14 +127,13 @@ int main(int argc, char** argv) {
                 hn, hsteps, threads);
     tb::util::TableWriter st(
         {"storage", "MLUP/s (host)", "bytes/LUP (model)"});
-    std::vector<tb::util::BenchEntry> report;
+    const tb::perfmodel::NodeModel model(tb::topo::host_machine());
+    std::vector<tb::obs::RunRow> report;
     double two = 0.0, aa = 0.0;
     for (const char* op : {"lbm", "lbm:aa"}) {
-      const tb::perfmodel::OperatorTraffic traffic =
-          tb::perfmodel::operator_traffic(op);
-      const double bpl = traffic.mem_bytes + traffic.aux_bytes;
       tb::core::StencilSolver solver =
           tb::core::make_solver("baseline", op, cfg, initial);
+      const double bpl = tb::obs::model_bytes_per_lup(solver.config(), op);
       solver.advance(1);  // warm-up: faults the lattices in
       // Best over >= 3 reps and >= 0.5 s of samples: steal time on a
       // shared host only ever subtracts from a throughput measurement.
@@ -144,11 +145,18 @@ int main(int argc, char** argv) {
       }
       (std::string(op) == "lbm" ? two : aa) = best;
       st.add(op, best, bpl);
-      report.push_back({std::string("baseline/") + op, bpl, best});
+      tb::obs::RunRow row;
+      row.name = std::string("baseline/") + op;
+      row.bytes_per_lup = bpl;
+      row.mlups = best;
+      row.predicted_mlups = tb::obs::predicted_solver_mlups(
+          solver.config(), op, model, hn, hn);
+      row.tags = {{"variant", "baseline"}, {"op", op}};
+      report.push_back(std::move(row));
     }
     st.print();
     std::printf("AA speedup over two-lattice: %.2fx\n", aa / two);
-    tb::util::write_bench_json("lbm", report);
+    tb::obs::write_bench_json("lbm", report);
   }
   return 0;
 }

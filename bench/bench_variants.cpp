@@ -19,22 +19,16 @@
 
 #include "core/registry.hpp"
 #include "core/stencil_op.hpp"
+#include "obs/accounting.hpp"
+#include "obs/rundb.hpp"
 #include "perfmodel/model_api.hpp"
+#include "topo/machine.hpp"
 #include "util/args.hpp"
-#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace tb::core;
-
-int sweep_depth(const SolverConfig& cfg) {
-  switch (cfg.variant) {
-    case Variant::kPipelined: return cfg.pipeline.levels_per_sweep();
-    case Variant::kWavefront: return cfg.wavefront.threads;
-    default: return 1;
-  }
-}
 
 // Steal time on shared runners swamps a single-shot timing of the fast
 // combinations (one 64^3 Jacobi sweep-set is a few milliseconds), so each
@@ -51,23 +45,6 @@ double best_mlups(StencilSolver& solver, int steps, double min_seconds) {
     ++reps;
   }
   return best;
-}
-
-double model_bytes_per_lup(const SolverConfig& cfg,
-                           const std::string& opname) {
-  // Per-operator traffic from the shared perfmodel table (the same one
-  // the autotuner ranks with), amortized over the team-sweep depth.
-  const tb::perfmodel::OperatorTraffic t =
-      tb::perfmodel::operator_traffic(opname);
-  const int S = sweep_depth(cfg);
-  const bool compressed = cfg.variant == Variant::kPipelined &&
-                          cfg.pipeline.scheme == GridScheme::kCompressed;
-  const bool streaming = cfg.variant == Variant::kBaseline &&
-                         cfg.baseline.nontemporal &&
-                         t.mem_bytes_nt < t.mem_bytes;
-  double bytes = streaming ? t.mem_bytes_nt : t.mem_bytes;
-  if (compressed) bytes -= sizeof(double);  // in-place: no write-allocate
-  return (bytes + t.aux_bytes) / S;
 }
 
 }  // namespace
@@ -104,7 +81,8 @@ int main(int argc, char** argv) {
               n, steps);
   tb::util::TableWriter t(
       {"variant", "operator", "MLUP/s (host)", "bytes/LUP (model)", "ok"});
-  std::vector<tb::util::BenchEntry> report;
+  const tb::perfmodel::NodeModel model(tb::topo::host_machine());
+  std::vector<tb::obs::RunRow> report;
   bool all_ok = true;
 
   for (const std::string& opname : operators) {
@@ -139,13 +117,21 @@ int main(int argc, char** argv) {
       const double mlups =
           std::max(st.mlups(), best_mlups(solver, steps, 0.5));
 
-      const double bpl = model_bytes_per_lup(solver.config(), opname);
+      const double bpl =
+          tb::obs::model_bytes_per_lup(solver.config(), opname);
       t.add(vname, opname, mlups, bpl, ok ? "yes" : "NO");
-      report.push_back({vname + "/" + opname, bpl, mlups});
+      tb::obs::RunRow row;
+      row.name = vname + "/" + opname;
+      row.bytes_per_lup = bpl;
+      row.mlups = mlups;
+      row.predicted_mlups =
+          tb::obs::predicted_solver_mlups(solver.config(), opname, model, n, n);
+      row.tags = {{"variant", vname}, {"op", opname}};
+      report.push_back(std::move(row));
     }
   }
   t.print();
-  tb::util::write_bench_json("variants", report);
+  tb::obs::write_bench_json("variants", report);
 
   std::printf("\nall combinations bit-identical to reference: %s\n",
               all_ok ? "yes" : "NO (bug!)");

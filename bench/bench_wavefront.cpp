@@ -14,10 +14,10 @@
 
 #include "core/reference.hpp"
 #include "core/wavefront.hpp"
+#include "obs/rundb.hpp"
 #include "perfmodel/wavefront_model.hpp"
 #include "sim/node_sim.hpp"
 #include "util/args.hpp"
-#include "util/bench_report.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   tb::util::TableWriter t({"grid", "wave WS [MiB]", "fits L3",
                            "Standard", "Wavefront t=4", "Pipelined T=1",
                            "Pipelined T=2"});
-  std::vector<tb::util::BenchEntry> report;
+  std::vector<tb::obs::RunRow> report;
   for (int n : {100, 150, 200, 300, 450, 600}) {
     const std::array<int, 3> grid{n, n, n};
     const double std_mlups =
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   }
   t.print();
   t.write_csv("wavefront_vs_pipeline.csv");
-  tb::util::write_bench_json("wavefront", report);
+  tb::obs::write_bench_json("wavefront", report);
 
   std::printf(
       "\nmax wavefront depth that fits the 8 MiB L3: 600^2 planes -> t=%d, "

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "obs/registry.hpp"
 #include "tune/planner.hpp"
 #include "tune/tuning_cache.hpp"
 #include "util/args.hpp"
@@ -87,6 +88,26 @@ int main(int argc, char** argv) {
     }
     t.print();
     std::printf("\nwinner: %s\n", plan.best.describe().c_str());
+  }
+
+  // Tuner telemetry (the counters tick on the cold planning path even
+  // with TB_TELEMETRY off): how the persistent cache behaved and whether
+  // the model's top-ranked schedule survived the probes.
+  {
+    const tb::obs::Registry& reg = tb::obs::Registry::global();
+    std::printf(
+        "\ntuner telemetry: cache hit %llu / miss %llu / invalidated %llu, "
+        "probes %llu, model pick %s\n",
+        static_cast<unsigned long long>(reg.counter_value("tune.cache.hit")),
+        static_cast<unsigned long long>(reg.counter_value("tune.cache.miss")),
+        static_cast<unsigned long long>(
+            reg.counter_value("tune.cache.invalidated")),
+        static_cast<unsigned long long>(reg.counter_value("tune.probes")),
+        reg.counter_value("tune.winner.model_disagreed") > 0
+            ? "overturned by probes"
+            : (reg.counter_value("tune.winner.model_agreed") > 0
+                   ? "confirmed by probes"
+                   : "not probed (cache hit)"));
   }
 
   // Validate the *chosen plan*: the winner's schedule, replayed on the

@@ -27,7 +27,11 @@
 #include "core/registry.hpp"
 #include "dist/registry.hpp"
 #include "lbm/stencil_op.hpp"
+#include "obs/accounting.hpp"
+#include "obs/obs.hpp"
+#include "obs/rundb.hpp"
 #include "perfmodel/cluster_model.hpp"  // dims_create
+#include "topo/machine.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -136,6 +140,31 @@ int main(int argc, char** argv) {
   std::printf("wall time %.3f s, %.1f MLUP/s (host), mass drift %.2e\n\n",
               st.seconds, st.mlups(),
               result.total_mass(state->geometry()) / mass0 - 1.0);
+
+  // Model-vs-measured accounting: with telemetry on (TB_TELEMETRY=1 or
+  // cfg.telemetry) the run appends one row to the run database carrying
+  // the NodeModel expectation next to the achieved rate plus the
+  // per-phase seconds the instrumented solver recorded.
+  if (tb::obs::enabled()) {
+    const tb::core::SolverConfig& rcfg = solver.config();
+    const std::string opname =
+        rcfg.lbm_storage == tb::lbm::LbmStorage::kAA ? "lbm:aa" : "lbm";
+    const tb::perfmodel::NodeModel model(tb::topo::host_machine());
+    tb::obs::RunRow row;
+    row.name = variant + "/" + opname;
+    row.bytes_per_lup = tb::obs::model_bytes_per_lup(rcfg, opname);
+    row.mlups = st.mlups();
+    row.predicted_mlups =
+        tb::obs::predicted_solver_mlups(rcfg, opname, model, n, n);
+    row.phases = tb::obs::phase_seconds_snapshot();
+    row.tags = {{"example", "lid_cavity"}, {"variant", variant},
+                {"op", opname}};
+    tb::obs::append_run_rows(tb::obs::default_rundb_path(), {row});
+    std::printf("model-vs-measured: NodeModel %.1f MLUP/s, achieved %.1f "
+                "MLUP/s (row appended to %s)\n\n",
+                row.predicted_mlups, row.mlups,
+                tb::obs::default_rundb_path().c_str());
+  }
 
   print_profile(result, n, cfg.lbm.lid_velocity[0]);
   return 0;

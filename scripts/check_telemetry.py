@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts of an instrumented run.
+
+Checks two files produced by a TB_TELEMETRY=1 run:
+
+  * the Chrome trace ($TB_TRACE): valid JSON with a non-empty
+    "traceEvents" array of complete "X" events whose timestamps are
+    monotone per thread — the shape chrome://tracing / Perfetto imports;
+  * the run database ($TB_RUNDB): one JSON object per line with the
+    current schema version, a positive measured MLUP/s and (with
+    --require-predicted) the NodeModel prediction next to it.
+
+Exit code 0 when everything holds, 1 with a message otherwise.
+
+  $ python3 scripts/check_telemetry.py --trace trace.json \
+        --rundb runs.jsonl --require-span sweep --require-predicted
+"""
+
+import argparse
+import json
+import sys
+
+RUN_ROW_SCHEMA = 1
+EVENT_KEYS = ("name", "cat", "ph", "pid", "tid", "ts", "dur")
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON ({e})")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    last_ts = {}
+    names = set()
+    for i, e in enumerate(events):
+        for key in EVENT_KEYS:
+            if key not in e:
+                fail(f"{path}: event {i} missing '{key}': {e}")
+        if e["ph"] != "X":
+            fail(f"{path}: event {i} has ph={e['ph']!r}, expected 'X'")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{path}: event {i} has negative ts/dur: {e}")
+        tid = e["tid"]
+        if tid in last_ts and e["ts"] < last_ts[tid]:
+            fail(
+                f"{path}: event {i} breaks per-thread monotonicity "
+                f"(tid {tid}: {e['ts']} < {last_ts[tid]})"
+            )
+        last_ts[tid] = e["ts"]
+        names.add(e["name"])
+
+    for want in require_spans:
+        if not any(want in n for n in names):
+            fail(f"{path}: no span matching '{want}' (have: {sorted(names)})")
+
+    print(
+        f"check_telemetry: {path}: {len(events)} events across "
+        f"{len(last_ts)} threads, spans {sorted(names)}"
+    )
+
+
+def check_rundb(path, require_predicted):
+    try:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail(f"{path}: not readable ({e})")
+    if not lines:
+        fail(f"{path}: empty run database")
+
+    for i, line in enumerate(lines):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not valid JSON ({e})")
+        if row.get("schema") != RUN_ROW_SCHEMA:
+            fail(f"{path}:{i + 1}: schema {row.get('schema')!r}, "
+                 f"expected {RUN_ROW_SCHEMA}")
+        if not row.get("name"):
+            fail(f"{path}:{i + 1}: missing name")
+        if not row.get("mlups", 0) > 0:
+            fail(f"{path}:{i + 1}: non-positive mlups: {row.get('mlups')}")
+        if require_predicted and not row.get("predicted_mlups", 0) > 0:
+            fail(f"{path}:{i + 1}: missing predicted_mlups "
+                 "(model-vs-measured row expected)")
+
+    print(f"check_telemetry: {path}: {len(lines)} run row(s) OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace JSON to validate")
+    ap.add_argument("--rundb", help="run-row JSONL to validate")
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        help="substring at least one trace span name must contain "
+        "(repeatable)",
+    )
+    ap.add_argument(
+        "--require-predicted",
+        action="store_true",
+        help="every run row must carry predicted_mlups > 0",
+    )
+    args = ap.parse_args()
+    if not args.trace and not args.rundb:
+        ap.error("nothing to check: pass --trace and/or --rundb")
+
+    if args.trace:
+        check_trace(args.trace, args.require_span)
+    if args.rundb:
+        check_rundb(args.rundb, args.require_predicted)
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,8 @@
 #include "core/pipeline.hpp"  // RunStats
 #include "core/stencil_op.hpp"
 #include "core/sync.hpp"  // SpinBarrier
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "topo/placement.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -76,12 +78,27 @@ class BaselineSolver {
                       nontemporal_supported();
       SpinBarrier barrier(workers);
 
+      // Telemetry: one flag + two histogram lookups hoisted out of the
+      // dispatch; the disabled path pays a per-sweep branch and nothing
+      // else inside the tile loop.
+      const bool tel = obs::enabled();
+      obs::Histogram* sweep_h =
+          tel ? &obs::Registry::global().histogram("core.sweep.seconds")
+              : nullptr;
+      obs::Histogram* wait_h =
+          tel ? &obs::Registry::global().histogram("core.barrier_wait.seconds")
+              : nullptr;
+      obs::Trace* tr = tel && obs::Trace::instance().running()
+                           ? &obs::Trace::instance()
+                           : nullptr;
+
       pool_.run([&, this](int w) {
         // Static contiguous partition of the tile list: matches the
         // first-touch initialization so each thread updates "its" pages.
         const long long lo = tiles * w / workers;
         const long long hi = tiles * (w + 1) / workers;
         for (int s = 0; s < steps; ++s) {
+          const std::uint64_t t0 = tel ? obs::now_ns() : 0;
           const int global = base_level + s + 1;  // level being produced
           const Grid3& src = *grids[(global + 1) % 2];
           Grid3& dst = *grids[global % 2];
@@ -113,13 +130,29 @@ class BaselineSolver {
           // Streaming stores must be globally visible before the
           // barrier's release edge publishes the sweep.
           if (nt) nontemporal_fence();
+          const std::uint64_t t1 = tel ? obs::now_ns() : 0;
           barrier.arrive_and_wait();
+          if (tel) {
+            const std::uint64_t t2 = obs::now_ns();
+            sweep_h->observe(static_cast<double>(t1 - t0) * 1e-9);
+            wait_h->observe(static_cast<double>(t2 - t1) * 1e-9);
+            if (tr != nullptr) {
+              tr->record("baseline.sweep", "core", t0, t1 - t0);
+              tr->record("baseline.barrier", "core", t1, t2 - t1);
+            }
+          }
         }
       });
     }
     stats.seconds = timer.elapsed();
     stats.levels = steps;
     stats.cell_updates = 1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * steps;
+    if (obs::enabled() && steps > 0) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("core.lups").add(
+          static_cast<std::uint64_t>(stats.cell_updates));
+      reg.counter("core.sweeps").add(static_cast<std::uint64_t>(steps));
+    }
     return stats;
   }
 

@@ -28,6 +28,8 @@
 #include "core/kernels.hpp"
 #include "core/pipeline.hpp"  // RunStats
 #include "core/stencil_op.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tb::core {
@@ -77,9 +79,15 @@ class CompressedSolver {
   /// Runs `sweeps` team sweeps (alternating shift directions).
   RunStats run(int sweeps) {
     RunStats stats;
+    const bool tel = obs::enabled();
+    obs::Histogram* sweep_h =
+        tel ? &obs::Registry::global().histogram("core.sweep.seconds")
+            : nullptr;
     util::Timer timer;
     const int levels_per_sweep = engine_.config().levels_per_sweep();
     for (int sweep = 0; sweep < sweeps; ++sweep) {
+      obs::ScopedTimer st(sweep_h);
+      obs::Span span("compressed.sweep", "core");
       const bool forward = (margin_ == shift_span_);
       const int m_start = margin_;
       // Run-local level for the operator: levels_done_ counts the levels
@@ -98,6 +106,12 @@ class CompressedSolver {
     stats.levels = sweeps * levels_per_sweep;
     stats.cell_updates =
         1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * stats.levels;
+    if (tel && sweeps > 0) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("core.lups").add(
+          static_cast<std::uint64_t>(stats.cell_updates));
+      reg.counter("core.sweeps").add(static_cast<std::uint64_t>(sweeps));
+    }
     return stats;
   }
 

@@ -1,5 +1,8 @@
 #include "core/engine.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace tb::core {
 
 namespace {
@@ -50,13 +53,40 @@ void PipelineEngine::process_block(int p, long long c, bool forward,
 void PipelineEngine::sweep_relaxed(bool forward, const ProcessFn& process) {
   counters_.reset();
   const long long nb = plan_.num_blocks();
+  // Telemetry: per thread per sweep, one aggregate clearance-wait
+  // sample + two trace spans (the sweep, and its wait total rendered as
+  // a nested tail span).  Hoisted so the per-block path adds only a
+  // predictable branch when disabled.
+  const bool tel = obs::enabled();
+  obs::Histogram* wait_h =
+      tel ? &obs::Registry::global().histogram("core.pipeline_wait.seconds")
+          : nullptr;
+  obs::Trace* tr = tel && obs::Trace::instance().running()
+                       ? &obs::Trace::instance()
+                       : nullptr;
   pool_.run([&](int p) {
     if (cfg_.pin_threads && !pin_attempted_)
       topo::pin_current_thread(affinity_.core_of(p));
+    const std::uint64_t s0 = tel ? obs::now_ns() : 0;
+    std::uint64_t wait_ns = 0;
     for (long long c = 0; c < nb; ++c) {
-      wait_for_clearance(counters_, bounds_, p, c, nb);
+      if (tel) {
+        const std::uint64_t w0 = obs::now_ns();
+        wait_for_clearance(counters_, bounds_, p, c, nb);
+        wait_ns += obs::now_ns() - w0;
+      } else {
+        wait_for_clearance(counters_, bounds_, p, c, nb);
+      }
       process_block(p, c, forward, process);
       counters_.publish(p, c + 1);
+    }
+    if (tel) {
+      const std::uint64_t s1 = obs::now_ns();
+      wait_h->observe(static_cast<double>(wait_ns) * 1e-9);
+      if (tr != nullptr) {
+        tr->record("pipeline.sweep", "core", s0, s1 - s0);
+        tr->record("pipeline.wait", "core", s1 - wait_ns, wait_ns);
+      }
     }
   });
   pin_attempted_ = true;
@@ -67,14 +97,37 @@ void PipelineEngine::sweep_barrier(bool forward, const ProcessFn& process) {
   const long long max_offset = barrier_offsets_.back();
   const long long steps = nb + max_offset;
   std::barrier barrier(cfg_.total_threads());
+  const bool tel = obs::enabled();
+  obs::Histogram* wait_h =
+      tel ? &obs::Registry::global().histogram("core.barrier_wait.seconds")
+          : nullptr;
+  obs::Trace* tr = tel && obs::Trace::instance().running()
+                       ? &obs::Trace::instance()
+                       : nullptr;
   pool_.run([&](int p) {
     if (cfg_.pin_threads && !pin_attempted_)
       topo::pin_current_thread(affinity_.core_of(p));
     const long long off = barrier_offsets_[static_cast<std::size_t>(p)];
+    const std::uint64_t s0 = tel ? obs::now_ns() : 0;
+    std::uint64_t wait_ns = 0;
     for (long long k = 0; k < steps; ++k) {
       const long long c = k - off;
       if (c >= 0 && c < nb) process_block(p, c, forward, process);
-      barrier.arrive_and_wait();
+      if (tel) {
+        const std::uint64_t w0 = obs::now_ns();
+        barrier.arrive_and_wait();
+        wait_ns += obs::now_ns() - w0;
+      } else {
+        barrier.arrive_and_wait();
+      }
+    }
+    if (tel) {
+      const std::uint64_t s1 = obs::now_ns();
+      wait_h->observe(static_cast<double>(wait_ns) * 1e-9);
+      if (tr != nullptr) {
+        tr->record("pipeline.sweep", "core", s0, s1 - s0);
+        tr->record("pipeline.wait", "core", s1 - wait_ns, wait_ns);
+      }
     }
   });
   pin_attempted_ = true;

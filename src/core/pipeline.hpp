@@ -12,6 +12,8 @@
 #include "core/grid.hpp"
 #include "core/kernels.hpp"
 #include "core/stencil_op.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tb::core {
@@ -74,8 +76,14 @@ class PipelinedSolver {
     const int levels_per_sweep = engine_.config().levels_per_sweep();
 
     RunStats stats;
+    const bool tel = obs::enabled();
+    obs::Histogram* sweep_h =
+        tel ? &obs::Registry::global().histogram("core.sweep.seconds")
+            : nullptr;
     util::Timer timer;
     for (int sweep = 0; sweep < sweeps; ++sweep) {
+      obs::ScopedTimer st(sweep_h);
+      obs::Span span("pipelined.sweep", "core");
       const int sweep_base = base_level + sweep * levels_per_sweep;
       engine_.run_sweep(
           /*forward=*/true, [&](int /*thread*/, int level, const Box& w) {
@@ -95,6 +103,12 @@ class PipelinedSolver {
                               std::max(0, c.hi[1] - c.lo[1]) *
                               std::max(0, c.hi[2] - c.lo[2]);
       stats.cell_updates += cells * sweeps;
+    }
+    if (tel && sweeps > 0) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("core.lups").add(
+          static_cast<std::uint64_t>(stats.cell_updates));
+      reg.counter("core.sweeps").add(static_cast<std::uint64_t>(sweeps));
     }
     return stats;
   }

@@ -5,6 +5,7 @@
 
 #include "core/stencil_op.hpp"
 #include "lbm/stencil_op.hpp"
+#include "obs/obs.hpp"
 #include "topo/placement.hpp"
 #include "util/timer.hpp"
 
@@ -149,6 +150,10 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
         break;
       }
     }
+    // Static facts about the operator's working set (lbm geometry row
+    // classification, prefetch path) go to the registry once.
+    if (obs::enabled())
+      if (const lbm::LbmState* s = state_.lbm()) s->publish_telemetry();
   }
 
   RunStats advance(int steps, int base) override {
@@ -267,6 +272,7 @@ lbm::LbmState default_lbm_state(const SolverConfig& cfg,
 
 StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial)
     : cfg_(cfg) {
+  if (cfg.telemetry) obs::set_enabled(true);
   switch (cfg.op) {
     case Operator::kJacobi:
       impl_ = std::make_unique<OpImpl<JacobiOp>>(cfg, initial,
@@ -299,6 +305,7 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial)
 StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
                              const Grid3& kappa)
     : cfg_(cfg) {
+  if (cfg.telemetry) obs::set_enabled(true);
   if (cfg.op == Operator::kJacobi || cfg.op == Operator::kBox27 ||
       cfg.op == Operator::kRedBlack ||
       (cfg.op == Operator::kLbm && !cfg.lbm_geometry_from_aux)) {

@@ -111,6 +111,14 @@ struct SolverConfig {
   /// defaults the resolver starts from, and registry::make_solver routes
   /// construction through the registered factory.
   std::string meta;
+
+  /// Turns the observability layer (src/obs/) on for this process:
+  /// per-sweep/barrier/halo metrics and trace spans from every solver
+  /// this config constructs.  Equivalent to the TB_TELEMETRY env (which
+  /// also controls the trace output paths and always wins); when both
+  /// are unset the instrumentation compiles down to one predictable
+  /// branch per sweep.  Never changes results.
+  bool telemetry = false;
 };
 
 /// Owns the working grids and advances them by arbitrary step counts.

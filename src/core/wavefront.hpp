@@ -24,6 +24,8 @@
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"  // RunStats
 #include "core/stencil_op.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -61,14 +63,27 @@ class WavefrontSolver {
     const long long steps = planes + 2LL * (t - 1);
 
     RunStats stats;
+    const bool tel = obs::enabled();
+    obs::Histogram* sweep_h =
+        tel ? &obs::Registry::global().histogram("core.sweep.seconds")
+            : nullptr;
+    obs::Histogram* wait_h =
+        tel ? &obs::Registry::global().histogram("core.barrier_wait.seconds")
+            : nullptr;
+    obs::Trace* tr = tel && obs::Trace::instance().running()
+                         ? &obs::Trace::instance()
+                         : nullptr;
     util::Timer timer;
     for (int sweep = 0; sweep < sweeps; ++sweep) {
+      obs::ScopedTimer st(sweep_h);
+      obs::Span span("wavefront.sweep", "core");
       const int sweep_base = base_level + sweep * t;
       std::barrier barrier(t);
       pool_.run([&](int i) {
         const int level = sweep_base + i + 1;   // this thread's time level
         const Grid3& src = *grids[(level + 1) % 2];
         Grid3& dst = *grids[level % 2];
+        std::uint64_t wait_ns = 0;
         for (long long step = 0; step < steps; ++step) {
           const long long k = 1 + step - 2LL * i;  // plane, 2-plane spacing
           if (k >= 1 && k < nz_ - 1) {
@@ -81,7 +96,20 @@ class WavefrontSolver {
                         src.row(j, kk + 1), level, j, kk, 1, nx_ - 1);
             }
           }
-          barrier.arrive_and_wait();
+          if (tel) {
+            const std::uint64_t w0 = obs::now_ns();
+            barrier.arrive_and_wait();
+            wait_ns += obs::now_ns() - w0;
+          } else {
+            barrier.arrive_and_wait();
+          }
+        }
+        if (tel) {
+          wait_h->observe(static_cast<double>(wait_ns) * 1e-9);
+          if (tr != nullptr) {
+            const std::uint64_t s1 = obs::now_ns();
+            tr->record("wavefront.barrier", "core", s1 - wait_ns, wait_ns);
+          }
         }
       });
     }
@@ -89,6 +117,12 @@ class WavefrontSolver {
     stats.levels = sweeps * t;
     stats.cell_updates =
         1LL * (nx_ - 2) * (ny_ - 2) * (nz_ - 2) * stats.levels;
+    if (tel && sweeps > 0) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("core.lups").add(
+          static_cast<std::uint64_t>(stats.cell_updates));
+      reg.counter("core.sweeps").add(static_cast<std::uint64_t>(sweeps));
+    }
     return stats;
   }
 

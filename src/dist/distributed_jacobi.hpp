@@ -50,6 +50,8 @@
 #include "core/pipeline.hpp"
 #include "core/stencil_op.hpp"
 #include "lbm/stencil_op.hpp"  // LbmConfig + StateFieldsTraits<LbmOp>
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "simnet/comm.hpp"
 
 namespace tb::dist {
@@ -217,6 +219,7 @@ class DistributedStencil {
     const double inner = cfg_.overlap ? compute_seconds(/*inner_only=*/true)
                                       : 0.0;
     for (int e = 0; e < epochs; ++e) {
+      obs::Span epoch_span("dist.epoch", "dist");
       // The grids whose ghost layers this epoch's updates read: the
       // base-level carrier plus every state field the operator declares
       // at the base level (the base parity changes with base_level_, so
@@ -242,6 +245,11 @@ class DistributedStencil {
   /// (pass nullptr on all other ranks).  `out` must have the global shape;
   /// its Dirichlet boundary is left untouched.  Collective.
   void gather(core::Grid3* out, int root = 0) {
+    obs::ScopedTimer st(
+        obs::enabled()
+            ? &obs::Registry::global().histogram("dist.gather.seconds")
+            : nullptr);
+    obs::Span span("dist.gather", "dist");
     const core::Grid3& cur = current();
     if (comm_.rank() == root) {
       if (out == nullptr)
@@ -436,7 +444,22 @@ class DistributedStencil {
   /// the message count is operator-independent and only the bytes scale
   /// with the operator's state width.
   void exchange_halos_sequential(const std::vector<core::Grid3*>& grids) {
+    // Per-dimension telemetry: exchange time, halo bytes and message
+    // counts, aggregated across all ranks (ranks are threads here, the
+    // registry's counters are atomic).
+    static constexpr const char* kDimSpan[3] = {
+        "dist.exchange.x", "dist.exchange.y", "dist.exchange.z"};
+    static constexpr const char* kDimBytes[3] = {
+        "dist.halo.bytes.x", "dist.halo.bytes.y", "dist.halo.bytes.z"};
+    const bool tel = obs::enabled();
+    obs::Registry& reg = obs::Registry::global();
+    obs::Histogram* exch_h =
+        tel ? &reg.histogram("dist.exchange.seconds") : nullptr;
+    obs::Counter* msgs = tel ? &reg.counter("dist.halo.messages") : nullptr;
     for (int d = 0; d < 3; ++d) {
+      obs::ScopedTimer st(exch_h);
+      obs::Span span(kDimSpan[d], "dist");
+      obs::Counter* bytes = tel ? &reg.counter(kDimBytes[d]) : nullptr;
       std::array<int, 3> lo{0, 0, 0}, hi{local_n_[0], local_n_[1],
                                          local_n_[2]};
       for (int e = 0; e < 3; ++e) {
@@ -460,6 +483,10 @@ class DistributedStencil {
         std::vector<double> buf;
         pack(grids, slo, shi, buf);
         comm_.send(nb, face_tag(d, side), buf);
+        if (tel) {
+          bytes->add(buf.size() * sizeof(double));
+          msgs->add(1);
+        }
       }
       for (int side = 0; side < 2; ++side) {
         const int nb = side == 0 ? neighbor_lo_[d] : neighbor_hi_[d];
@@ -484,6 +511,14 @@ class DistributedStencil {
   /// result stays bit-identical.
   void exchange_halos_overlapped(const std::vector<core::Grid3*>& grids,
                                  double inner_seconds) {
+    const bool tel = obs::enabled();
+    obs::Registry& reg = obs::Registry::global();
+    obs::ScopedTimer st(
+        tel ? &reg.histogram("dist.exchange.seconds") : nullptr);
+    obs::Span span("dist.exchange.overlap", "dist");
+    obs::Counter* bytes =
+        tel ? &reg.counter("dist.halo.bytes.overlap") : nullptr;
+    obs::Counter* msgs = tel ? &reg.counter("dist.halo.messages") : nullptr;
     std::vector<std::array<int, 3>> dirs;
     for (int vz = -1; vz <= 1; ++vz)
       for (int vy = -1; vy <= 1; ++vy)
@@ -510,6 +545,10 @@ class DistributedStencil {
       std::vector<double> buf;
       pack(grids, lo, hi, buf);
       comm_.isend(diag_neighbor(v), dir_tag(v), buf);
+      if (tel) {
+        bytes->add(buf.size() * sizeof(double));
+        msgs->add(1);
+      }
     }
     comm_.compute(inner_seconds);
     for (const auto& v : dirs) {

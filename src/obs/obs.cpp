@@ -1,0 +1,34 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace tb::obs {
+
+bool env_enabled() {
+  static const bool on = [] {
+    const char* e = std::getenv("TB_TELEMETRY");
+    return e != nullptr && e[0] != '\0' &&
+           !(e[0] == '0' && e[1] == '\0');
+  }();
+  return on;
+}
+
+namespace detail {
+std::atomic<bool> g_enabled{env_enabled()};
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on || env_enabled(), std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+}  // namespace tb::obs

@@ -1,0 +1,197 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tb::obs {
+
+namespace {
+
+// CAS loops for atomic<double> sum/min/max (no fetch_add for doubles
+// until C++20 libstdc++ catches up on all our targets).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::atomic<Registry*> g_current{nullptr};
+
+}  // namespace
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  const int b = std::ilogb(v) + 40;
+  if (b < 0) return 0;
+  if (b >= kBuckets) return kBuckets - 1;
+  return b;
+}
+
+void Histogram::observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry def;
+  Registry* cur = g_current.load(std::memory_order_acquire);
+  return cur != nullptr ? *cur : def;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+}
+
+std::vector<MetricRow> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [k, c] : counters_) {
+    MetricRow r;
+    r.name = k;
+    r.kind = MetricRow::Kind::kCounter;
+    r.value = static_cast<double>(c->value());
+    out.push_back(std::move(r));
+  }
+  for (const auto& [k, g] : gauges_) {
+    MetricRow r;
+    r.name = k;
+    r.kind = MetricRow::Kind::kGauge;
+    r.value = g->value();
+    out.push_back(std::move(r));
+  }
+  for (const auto& [k, h] : histograms_) {
+    MetricRow r;
+    r.name = k;
+    r.kind = MetricRow::Kind::kHistogram;
+    r.value = h->sum();
+    r.count = h->count();
+    r.min = r.count > 0 ? h->min() : 0.0;
+    r.max = r.count > 0 ? h->max() : 0.0;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::sums_with_suffix(
+    std::string_view suffix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [k, h] : histograms_) {
+    if (k.size() < suffix.size()) continue;
+    if (std::string_view(k).substr(k.size() - suffix.size()) != suffix)
+      continue;
+    if (h->count() == 0) continue;
+    out.emplace_back(k, h->sum());
+  }
+  return out;
+}
+
+bool Registry::write_json(const std::string& path) const {
+  const std::vector<MetricRow> rows = snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MetricRow& r = rows[i];
+    switch (r.kind) {
+      case MetricRow::Kind::kCounter:
+        std::fprintf(f, "  \"%s\": %llu", r.name.c_str(),
+                     static_cast<unsigned long long>(r.value));
+        break;
+      case MetricRow::Kind::kGauge:
+        std::fprintf(f, "  \"%s\": %.9g", r.name.c_str(), r.value);
+        break;
+      case MetricRow::Kind::kHistogram:
+        std::fprintf(f,
+                     "  \"%s\": {\"count\": %llu, \"sum\": %.9g, "
+                     "\"min\": %.9g, \"max\": %.9g}",
+                     r.name.c_str(),
+                     static_cast<unsigned long long>(r.count), r.value, r.min,
+                     r.max);
+        break;
+    }
+    std::fprintf(f, "%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
+RegistryScope::RegistryScope(Registry& r)
+    : prev_(g_current.exchange(&r, std::memory_order_acq_rel)) {}
+
+RegistryScope::~RegistryScope() {
+  g_current.store(prev_, std::memory_order_release);
+}
+
+}  // namespace tb::obs

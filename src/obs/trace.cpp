@@ -1,0 +1,230 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tb::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TraceRing
+
+TraceRing::TraceRing(std::size_t capacity_hint)
+    : buf_(round_up_pow2(capacity_hint)), mask_(buf_.size() - 1) {}
+
+bool TraceRing::push(const TraceEvent& e) {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= buf_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  buf_[head & mask_] = e;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void TraceRing::drain(std::vector<TraceEvent>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  for (; tail != head; ++tail) out.push_back(buf_[tail & mask_]);
+  tail_.store(tail, std::memory_order_release);
+}
+
+// -------------------------------------------------------------------- sinks
+
+void ChromeTraceSink::consume(const TraceEvent* events, std::size_t n) {
+  events_.insert(events_.end(), events, events + n);
+}
+
+void ChromeTraceSink::close() {
+  // (tid, t0, longer-span-first) gives monotone per-thread timestamps
+  // and puts enclosing spans before the spans they contain, which is
+  // what the Catapult/Perfetto importer expects for "X" events.
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                 "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}%s\n",
+                 e.name, e.cat, e.tid,
+                 static_cast<double>(e.t0_ns) * 1e-3,
+                 static_cast<double>(e.dur_ns) * 1e-3,
+                 i + 1 < events_.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  events_.clear();
+}
+
+void JsonlTraceSink::consume(const TraceEvent* events, std::size_t n) {
+  if (f_ == nullptr) {
+    f_ = std::fopen(path_.c_str(), "w");
+    if (f_ == nullptr) return;
+  }
+  std::FILE* f = static_cast<std::FILE*>(f_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"cat\": \"%s\", \"tid\": %u, "
+                 "\"t0_ns\": %llu, \"dur_ns\": %llu}\n",
+                 e.name, e.cat, e.tid,
+                 static_cast<unsigned long long>(e.t0_ns),
+                 static_cast<unsigned long long>(e.dur_ns));
+  }
+}
+
+void JsonlTraceSink::close() {
+  if (f_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(f_));
+    f_ = nullptr;
+  }
+}
+
+// -------------------------------------------------------------------- Trace
+
+Trace& Trace::instance() {
+  static Trace t;
+  static const bool auto_start = [] {
+    if (!env_enabled()) return false;
+    TraceOptions o;
+    const char* chrome = std::getenv("TB_TRACE");
+    o.chrome_path =
+        (chrome != nullptr && chrome[0] != '\0') ? chrome : "tb_trace.json";
+    if (const char* jsonl = std::getenv("TB_TRACE_JSONL");
+        jsonl != nullptr && jsonl[0] != '\0')
+      o.jsonl_path = jsonl;
+    t.start(std::move(o));
+    return true;
+  }();
+  (void)auto_start;
+  return t;
+}
+
+void Trace::start(TraceOptions opts) {
+  if (running()) return;
+  discard_pending();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts_ = opts;
+    owned_sinks_.clear();
+    sinks_.clear();
+    if (!opts.chrome_path.empty())
+      owned_sinks_.push_back(
+          std::make_unique<ChromeTraceSink>(opts.chrome_path));
+    if (!opts.jsonl_path.empty())
+      owned_sinks_.push_back(std::make_unique<JsonlTraceSink>(opts.jsonl_path));
+    for (auto& s : owned_sinks_) sinks_.push_back(s.get());
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  writer_ = std::thread(&Trace::writer_loop, this);
+}
+
+void Trace::start_with_sink(TraceSink* sink, TraceOptions opts) {
+  if (running()) return;
+  discard_pending();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts_ = opts;
+    owned_sinks_.clear();
+    sinks_.clear();
+    sinks_.push_back(sink);
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  writer_ = std::thread(&Trace::writer_loop, this);
+}
+
+void Trace::stop() {
+  if (!running()) return;
+  running_.store(false, std::memory_order_release);
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  drain_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceSink* s : sinks_) s->close();
+  sinks_.clear();
+  owned_sinks_.clear();
+}
+
+Trace::~Trace() { stop(); }
+
+void Trace::record(const char* name, const char* cat, std::uint64_t t0_ns,
+                   std::uint64_t dur_ns) {
+  thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) tls = register_thread();
+  if (tls->ring.push(
+          TraceEvent{name, cat, t0_ns, dur_ns, tls->tid}))
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t d = 0;
+  for (const auto& b : buffers_) d += b->ring.dropped();
+  return d - dropped_baseline_;
+}
+
+Trace::ThreadBuffer* Trace::register_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t cap =
+      opts_.ring_capacity != 0 ? opts_.ring_capacity : (1u << 12);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      cap, static_cast<std::uint32_t>(buffers_.size())));
+  return buffers_.back().get();
+}
+
+void Trace::writer_loop() {
+  std::unique_lock<std::mutex> lock(cv_mu_);
+  while (running_.load(std::memory_order_relaxed)) {
+    cv_.wait_for(lock, std::chrono::milliseconds(opts_.drain_interval_ms));
+    drain_all();
+  }
+}
+
+void Trace::drain_all() {
+  std::vector<ThreadBuffer*> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs.reserve(buffers_.size());
+    for (auto& b : buffers_) bufs.push_back(b.get());
+  }
+  scratch_.clear();
+  for (ThreadBuffer* b : bufs) b->ring.drain(scratch_);
+  if (scratch_.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceSink* s : sinks_) s->consume(scratch_.data(), scratch_.size());
+}
+
+void Trace::discard_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.clear();
+  std::uint64_t d = 0;
+  for (auto& b : buffers_) {
+    b->ring.drain(scratch_);
+    d += b->ring.dropped();
+  }
+  scratch_.clear();
+  dropped_baseline_ = d;
+}
+
+}  // namespace tb::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "obs/registry.hpp"
 #include "tune/model_ranker.hpp"
 #include "tune/search_space.hpp"
 #include "tune/tuning_cache.hpp"
@@ -44,9 +45,15 @@ Plan plan(const Problem& p, const PlanOptions& opts) {
       opts.cache_path.empty() ? default_cache_path() : opts.cache_path;
   TuningCache cache(cache_path, machine_signature(machine));
 
+  // Tuner counters tick unconditionally: they live on the cold planning
+  // path (one increment next to a timed probe), and examples/autotune
+  // reports them without flipping the hot-path telemetry switch.
+  obs::Registry& reg = obs::Registry::global();
+
   if (opts.use_cache) {
     cache.load();
     if (std::optional<Candidate> hit = cache.find(p)) {
+      reg.counter("tune.cache.hit").add(1);
       if (opts.verbose)
         std::printf("tune: cache hit for %s in %s — 0 probes\n",
                     p.describe().c_str(), cache.path().c_str());
@@ -55,6 +62,7 @@ Plan plan(const Problem& p, const PlanOptions& opts) {
       out.from_cache = true;
       return out;
     }
+    reg.counter("tune.cache.miss").add(1);
     if (opts.verbose)
       std::printf("tune: cache miss for %s (%zu entries in %s)\n",
                   p.describe().c_str(), cache.size(),
@@ -81,7 +89,11 @@ Plan plan(const Problem& p, const PlanOptions& opts) {
   if (!probe.machine.has_value()) probe.machine = machine;
 
   for (Candidate& c : out.shortlist) {
-    c.measured_mlups = measure_candidate(c, p, probe);
+    {
+      obs::ScopedTimer st(&reg.histogram("tune.probe.seconds"));
+      c.measured_mlups = measure_candidate(c, p, probe);
+    }
+    reg.counter("tune.probes").add(1);
     ++out.probes_run;
     if (opts.verbose)
       std::printf("tune:   probe %-38s model %8.1f  measured %8.1f MLUP/s\n",
@@ -93,6 +105,11 @@ Plan plan(const Problem& p, const PlanOptions& opts) {
   for (const Candidate& c : out.shortlist)
     if (c.measured_mlups > best->measured_mlups) best = &c;
   out.best = *best;
+  // Ranked-vs-measured agreement: did the model's top pick (the
+  // shortlist head) survive the probes?
+  reg.counter(best == &out.shortlist.front() ? "tune.winner.model_agreed"
+                                             : "tune.winner.model_disagreed")
+      .add(1);
 
   if (opts.use_cache) {
     cache.put(p, out.best);

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/registry.hpp"
+#include "obs/registry.hpp"
 
 namespace tb::tune {
 
@@ -154,8 +155,15 @@ std::size_t TuningCache::load() {
   FlatObject top;
   std::vector<FlatObject> objects;
   scan(text, top, objects);
-  if (as_string(top, "signature") != signature_) return 0;  // stale machine
-  if (as_int(top, "version", 0) != kFormatVersion) return 0;
+  if (as_string(top, "signature") != signature_ ||
+      as_int(top, "version", 0) != kFormatVersion) {
+    // A non-empty file from another machine or format generation: the
+    // whole cache is discarded, which examples/autotune surfaces as an
+    // invalidation (distinct from a plain miss on an empty cache).
+    if (!text.empty())
+      obs::Registry::global().counter("tune.cache.invalidated").add(1);
+    return 0;
+  }
 
   for (const FlatObject& o : objects) {
     Entry e;

@@ -1,6 +1,11 @@
 // Tiny leveled logger; off by default so benches stay machine-readable.
+//
+// The single knob is TB_LOG (debug|info|warn|error): every logging call
+// in the tree routes through the one threshold below, initialized from
+// the environment once and overridable at runtime via set_log_level().
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -11,8 +16,18 @@ namespace tb::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 namespace detail {
+inline LogLevel env_log_level() {
+  const char* env = std::getenv("TB_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;  // unknown values keep the quiet default
+}
 inline LogLevel& threshold() {
-  static LogLevel level = LogLevel::kWarn;
+  static LogLevel level = env_log_level();
   return level;
 }
 inline std::mutex& log_mutex() {

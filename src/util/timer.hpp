@@ -9,6 +9,10 @@ namespace tb::util {
 class Timer {
  public:
   using clock = std::chrono::steady_clock;
+  // Every duration in the tree (RunStats, obs:: histograms and trace
+  // spans) compares against these samples, so the clock must never step
+  // with NTP/suspend the way system_clock can.
+  static_assert(clock::is_steady, "Timer requires a monotonic clock");
 
   Timer() : start_(clock::now()) {}
 
