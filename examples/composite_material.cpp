@@ -4,6 +4,7 @@
 //
 //   $ ./composite_material [--n 48] [--steps 600] [--kfiber 100]
 //                          [--variant pipelined] [--vtk out.vtk]
+//   $ ./composite_material --scenario scenarios/composite.json
 //
 // Demonstrates that the paper's scheme is not Jacobi-specific: any update
 // reading only the 3^3 neighborhood of the previous level runs through
@@ -14,6 +15,7 @@
 #include "core/grid_io.hpp"
 #include "core/norms.hpp"
 #include "core/registry.hpp"
+#include "scenario/scenario_engine.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -37,9 +39,15 @@ tb::core::Grid3 fiber_material(int n, double k_fiber) {
 
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 48));
+  tb::util::StandardFlags flags;
+  flags.n = 48;
+  flags.steps = 600;
+  flags.parse(args);
+  if (!flags.scenario.empty())
+    return tb::scenario::run_scenario_file(flags.scenario);
+  const int n = flags.n;
   const double k_fiber = args.get_double("kfiber", 100.0);
-  const int steps_requested = static_cast<int>(args.get_int("steps", 600));
+  const int steps_requested = flags.steps;
 
   // Hot x = 0 face, cold everywhere else.
   tb::core::Grid3 initial(n, n, n);
@@ -49,7 +57,7 @@ int main(int argc, char** argv) {
 
   tb::core::SolverConfig cfg;
   cfg.pipeline.teams = 1;
-  cfg.pipeline.team_size = static_cast<int>(args.get_int("t", 2));
+  cfg.pipeline.team_size = flags.threads;  // --t / --threads
   cfg.pipeline.steps_per_thread = 2;
   cfg.pipeline.block = {n, 12, 12};
   cfg.pipeline.du = 3;

@@ -4,6 +4,7 @@
 //
 //   $ ./heat_equation [--n 96] [--tol 1e-5] [--max-steps 2000]
 //                     [--variant all] [--operator jacobi]
+//   $ ./heat_equation --scenario scenarios/sweep.json
 //
 // The physical setup is a box with one hot face (x = 0, T = 1) and cold
 // walls elsewhere; the steady state is a smooth temperature gradient
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "scenario/scenario_engine.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -67,10 +69,15 @@ Outcome solve(tb::core::StencilSolver solver, const tb::core::Grid3& init,
 
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 96));
+  tb::util::StandardFlags flags;
+  flags.n = 96;
+  flags.parse(args);
+  if (!flags.scenario.empty())
+    return tb::scenario::run_scenario_file(flags.scenario);
+  const int n = flags.n;
   const double tol = args.get_double("tol", 1e-5);
   const int max_steps = static_cast<int>(args.get_int("max-steps", 2000));
-  const int threads = static_cast<int>(args.get_int("threads", 2));
+  const int threads = flags.threads;
 
   std::vector<std::string> variants = tb::core::registered_variants();
   {

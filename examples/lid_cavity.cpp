@@ -31,6 +31,7 @@
 #include "obs/obs.hpp"
 #include "obs/rundb.hpp"
 #include "perfmodel/cluster_model.hpp"  // dims_create
+#include "scenario/scenario_engine.hpp"
 #include "topo/machine.hpp"
 #include "util/args.hpp"
 
@@ -61,9 +62,15 @@ void print_profile(const tb::lbm::Lattice& result, int n, double ulid) {
 
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 32));
-  const int steps = static_cast<int>(args.get_int("steps", 400));
-  const int t = static_cast<int>(args.get_int("t", 2));
+  tb::util::StandardFlags flags;
+  flags.n = 32;
+  flags.steps = 400;
+  flags.parse(args);
+  if (!flags.scenario.empty())
+    return tb::scenario::run_scenario_file(flags.scenario);
+  const int n = flags.n;
+  const int steps = flags.steps;
+  const int t = flags.threads;
   const int ranks = static_cast<int>(args.get_int("ranks", 1));
 
   tb::core::SolverConfig cfg;

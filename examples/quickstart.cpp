@@ -3,20 +3,29 @@
 //
 //   $ ./quickstart [--n 128] [--steps 64] [--teams 1] [--t 2] [--T 2]
 //                  [--variant pipelined] [--operator jacobi]
+//   $ ./quickstart --scenario scenarios/quickstart.json
 //
 // Sets up a cubic domain with a hot x=0 face, advances `steps` sweeps of
 // the selected (variant, operator) combination — any registry pair works,
 // e.g. --variant wavefront --operator varcoef — and reports performance
-// and the center temperature.
+// and the center temperature.  With --scenario the flags are ignored and
+// the whole JSON case batch runs through the scenario engine instead.
 #include <cstdio>
 
 #include "core/registry.hpp"
+#include "scenario/scenario_engine.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
   const tb::util::Args args(argc, argv);
-  const int n = static_cast<int>(args.get_int("n", 128));
-  const int steps = static_cast<int>(args.get_int("steps", 64));
+  tb::util::StandardFlags flags;
+  flags.n = 128;
+  flags.steps = 64;
+  flags.parse(args);
+  if (!flags.scenario.empty())
+    return tb::scenario::run_scenario_file(flags.scenario);
+  const int n = flags.n;
+  const int steps = flags.steps;
 
   // Initial condition: zero interior, hot (T = 1) face at x = 0.
   tb::core::Grid3 initial(n, n, n);

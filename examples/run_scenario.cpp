@@ -1,0 +1,33 @@
+// Scenario runner: executes a JSON scenario file — a whole batch of
+// (operator, variant, shape) cases, sweeps and repeats — through ONE
+// re-entrant solver session in one process.
+//
+//   $ ./run_scenario --scenario scenarios/sweep.json [--tune-cache f]
+//
+// Repeat (shape, config) pairs reuse the pooled solver (grids, side
+// channels, thread pools) via StencilSolver::reset, and "auto" cases
+// share the session's tuning cache, so repeat shapes replay their plan
+// with zero probes.  With TB_TELEMETRY=1 every case appends one
+// model-vs-measured row to the run database ($TB_RUNDB) and records a
+// scenario.case trace span — the same sinks the benches and examples
+// use.  This binary replaces the one-main()-per-workload pattern: new
+// workloads are .json files under scenarios/, not new C++.
+#include <cstdio>
+
+#include "scenario/scenario_engine.hpp"
+#include "tune/planner.hpp"  // linking tb_tune registers --variant auto
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  const tb::util::Args args(argc, argv);
+  tb::util::StandardFlags flags;
+  flags.parse(args);
+  if (flags.scenario.empty()) {
+    std::fprintf(stderr,
+                 "usage: run_scenario --scenario <file.json> "
+                 "[--tune-cache <file>]\n");
+    return 2;
+  }
+  return tb::scenario::run_scenario_file(flags.scenario,
+                                         args.get("tune-cache", ""));
+}

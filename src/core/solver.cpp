@@ -33,6 +33,10 @@ struct OpState {
   /// Cells one level actually updates, or -1 for "every interior cell"
   /// (the geometry-oblivious operators).
   [[nodiscard]] long long updates_per_level() const { return -1; }
+  /// Rewind hook (StencilSolver::reset): stateless operators have
+  /// nothing to rebuild.
+  void reset(const SolverConfig& /*cfg*/, const Grid3& /*initial*/,
+             const Grid3* /*aux*/) {}
 };
 
 template <>
@@ -42,6 +46,12 @@ struct OpState<VarCoefOp> {
   void set_level_base(int /*base*/) {}
   [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
   [[nodiscard]] long long updates_per_level() const { return -1; }
+  /// New kappa -> face coefficients rebuilt in place; no kappa -> the
+  /// existing material field stays (documented at StencilSolver::reset).
+  void reset(const SolverConfig& /*cfg*/, const Grid3& /*initial*/,
+             const Grid3* aux) {
+    if (aux != nullptr) coeffs.rebuild(*aux);
+  }
 };
 
 template <>
@@ -51,6 +61,10 @@ struct OpState<RedBlackOp> {
   void set_level_base(int base) { origin.base = base; }
   [[nodiscard]] const lbm::LbmState* lbm() const { return nullptr; }
   [[nodiscard]] long long updates_per_level() const { return -1; }
+  void reset(const SolverConfig& /*cfg*/, const Grid3& /*initial*/,
+             const Grid3* /*aux*/) {
+    origin.base = 0;
+  }
 };
 
 template <>
@@ -64,6 +78,19 @@ struct OpState<lbm::LbmOp> {
   [[nodiscard]] long long updates_per_level() const {
     return state.fluid_interior_cells();
   }
+  /// Distributions back to the equilibrium of the new initial density,
+  /// geometry rebuilt from the aux codes when the config sources it
+  /// there — all in the existing lattice allocations.
+  void reset(const SolverConfig& cfg, const Grid3& initial,
+             const Grid3* aux) {
+    state.origin.base = 0;
+    if (cfg.lbm_geometry_from_aux && aux != nullptr) {
+      const lbm::Geometry geo = lbm::geometry_from_codes(*aux);
+      state.reset(initial, &geo);
+    } else {
+      state.reset(initial, nullptr);
+    }
+  }
 };
 
 }  // namespace
@@ -74,6 +101,9 @@ struct StencilSolver::Impl {
   /// already completed (the facade's levels_done_ — the single counter;
   /// it feeds the LevelOrigin of time-dependent operators).
   virtual RunStats advance(int steps, int base) = 0;
+  /// Rewinds to level 0 with new initial data (and optionally a new aux
+  /// field) without reallocating anything; see StencilSolver::reset.
+  virtual void reset(const Grid3& initial, const Grid3* aux) = 0;
   [[nodiscard]] virtual const Grid3& solution() const = 0;
   [[nodiscard]] virtual const lbm::LbmState* lbm_state() const = 0;
 };
@@ -198,6 +228,24 @@ struct StencilSolver::OpImpl final : StencilSolver::Impl {
     const long long upl = state_.updates_per_level();
     if (upl >= 0) total.cell_updates = upl * total.levels;
     return total;
+  }
+
+  void reset(const Grid3& initial, const Grid3* aux) override {
+    if (initial.nx() != nx_ || initial.ny() != ny_ || initial.nz() != nz_)
+      throw std::invalid_argument(
+          "StencilSolver::reset: the new initial grid must match the "
+          "constructed shape");
+    if (aux != nullptr &&
+        (aux->nx() != nx_ || aux->ny() != ny_ || aux->nz() != nz_))
+      throw std::invalid_argument(
+          "StencilSolver::reset: the new aux grid must match the "
+          "constructed shape");
+    state_.reset(cfg_, initial, aux);
+    // Same double write as construction: the boundary values must exist
+    // in both parities.  The pages are already mapped, so the placement
+    // established at construction is untouched.
+    copy_grid(initial, a_);
+    copy_grid(initial, b_);
   }
 
   /// The current level lives in a_ by invariant: every path below swaps
@@ -333,6 +381,16 @@ StencilSolver::StencilSolver(const SolverConfig& cfg, const Grid3& initial,
 StencilSolver::~StencilSolver() = default;
 StencilSolver::StencilSolver(StencilSolver&&) noexcept = default;
 StencilSolver& StencilSolver::operator=(StencilSolver&&) noexcept = default;
+
+void StencilSolver::reset(const Grid3& initial) {
+  impl_->reset(initial, nullptr);
+  levels_done_ = 0;
+}
+
+void StencilSolver::reset(const Grid3& initial, const Grid3& kappa) {
+  impl_->reset(initial, &kappa);
+  levels_done_ = 0;
+}
 
 RunStats StencilSolver::advance(int steps) {
   if (steps < 0) throw std::invalid_argument("advance: negative steps");

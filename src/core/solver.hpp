@@ -112,6 +112,14 @@ struct SolverConfig {
   /// construction through the registered factory.
   std::string meta;
 
+  /// Tuning-cache file the "auto" meta variant should read and persist
+  /// plans through; empty = the tuner's default (TB_TUNE_CACHE env, else
+  /// its built-in path).  Set by the session layer so every auto solve
+  /// of a session shares one cache — repeat shapes replay the cached
+  /// plan with zero probes.  Ignored by concrete variants; never part of
+  /// a tuned schedule (tune::Candidate::apply does not touch it).
+  std::string tune_cache_path;
+
   /// Turns the observability layer (src/obs/) on for this process:
   /// per-sweep/barrier/halo metrics and trace spans from every solver
   /// this config constructs.  Equivalent to the TB_TELEMETRY env (which
@@ -147,6 +155,24 @@ class StencilSolver {
   /// baseline sweeps (a real code must produce exactly the requested
   /// number of levels, not a convenient multiple).
   RunStats advance(int steps);
+
+  /// Rewinds the solver to level 0 with new initial data, reusing every
+  /// allocation: grids, the operator's side-channel state (lattices,
+  /// face coefficients) and the scheme objects with their thread pools
+  /// all survive in place — the mechanism behind core::SolverSession's
+  /// solver pool.  `initial` must match the constructed shape (throws
+  /// std::invalid_argument otherwise).  Results are bit-identical to a
+  /// freshly constructed solver on the same inputs.  Page placement is
+  /// NOT re-established (the pages are already mapped from the first
+  /// construction) — a correctness no-op, and exactly the point: reuse
+  /// keeps the NUMA homing the first solve paid for.
+  void reset(const Grid3& initial);
+
+  /// reset() with a new auxiliary field (varcoef's kappa, lbm's geometry
+  /// codes when cfg.lbm_geometry_from_aux is set): the face coefficients
+  /// resp. geometry masks are rebuilt in place.  Operators that take no
+  /// aux field ignore `kappa`, mirroring the two-argument constructor.
+  void reset(const Grid3& initial, const Grid3& kappa);
 
   /// Read-only view of the current solution.  No copy: the facade
   /// maintains the invariant that the current level always lives in its

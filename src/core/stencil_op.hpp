@@ -43,6 +43,7 @@
 #pragma once
 
 #include <array>
+#include <stdexcept>
 
 #include "core/blocks.hpp"
 #include "core/grid.hpp"
@@ -104,6 +105,34 @@ class DiffusionCoefficients {
   explicit DiffusionCoefficients(const Grid3& kappa)
       : nx_(kappa.nx()), ny_(kappa.ny()), nz_(kappa.nz()) {
     for (auto& f : faces_) f = Grid3(nx_, ny_, nz_);
+    fill_faces(kappa);
+  }
+
+  /// Recomputes the face coefficients from a new material field IN the
+  /// existing allocations (kappa must match the constructed shape) —
+  /// identical arithmetic to construction, so a solver reset with a new
+  /// kappa stays bit-identical to a fresh solver on the same field.
+  void rebuild(const Grid3& kappa) {
+    if (kappa.nx() != nx_ || kappa.ny() != ny_ || kappa.nz() != nz_)
+      throw std::invalid_argument(
+          "DiffusionCoefficients::rebuild: kappa shape must match the "
+          "constructed shape");
+    fill_faces(kappa);
+  }
+
+  [[nodiscard]] const Grid3& face(int f) const {
+    return faces_[static_cast<std::size_t>(f)];
+  }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+
+ private:
+  static double harmonic(double a, double b) {
+    return (a > 0 && b > 0) ? 2.0 * a * b / (a + b) : 0.0;
+  }
+
+  void fill_faces(const Grid3& kappa) {
     for (int k = 1; k < nz_ - 1; ++k)
       for (int j = 1; j < ny_ - 1; ++j)
         for (int i = 1; i < nx_ - 1; ++i) {
@@ -117,18 +146,6 @@ class DiffusionCoefficients {
             faces_[static_cast<std::size_t>(f)].at(i, j, k) = h;
           }
         }
-  }
-
-  [[nodiscard]] const Grid3& face(int f) const {
-    return faces_[static_cast<std::size_t>(f)];
-  }
-  [[nodiscard]] int nx() const { return nx_; }
-  [[nodiscard]] int ny() const { return ny_; }
-  [[nodiscard]] int nz() const { return nz_; }
-
- private:
-  static double harmonic(double a, double b) {
-    return (a > 0 && b > 0) ? 2.0 * a * b / (a + b) : 0.0;
   }
 
   int nx_, ny_, nz_;

@@ -127,72 +127,34 @@ class LbmState {
     if (geo_.nx() != nx || geo_.ny() != ny || geo_.nz() != nz)
       throw std::invalid_argument(
           "LbmState: geometry shape must match the initial grid");
+    initialize(initial_density);
+  }
 
-    // Geometry masks (interior cells; the outermost layer is never
-    // updated, its entries only mark it solid for the row kernels) and
-    // the fluid-cell count the throughput accounting reports.
-    masks_.assign(static_cast<std::size_t>(nx) * ny * nz, kMaskSolid);
-    for (int k = 1; k < nz - 1; ++k)
-      for (int j = 1; j < ny - 1; ++j)
-        for (int i = 1; i < nx - 1; ++i) {
-          const std::uint64_t m = cell_mask(geo_, i, j, k);
-          masks_[(static_cast<std::size_t>(k) * ny + j) * nx + i] = m;
-          if (!(m & kMaskSolid)) ++fluid_interior_;
-        }
-
-    if (storage_ == LbmStorage::kTwoLattice) {
-      even_.emplace(nx, ny, nz);
-      odd_.emplace(nx, ny, nz);
-      for (int k = 0; k < nz; ++k)
-        for (int j = 0; j < ny; ++j)
-          for (int i = 0; i < nx; ++i) {
-            const double rho0 = initial_density.at(i, j, k);
-            const double rho = rho0 > 0.0 ? rho0 : cfg_.rho0;
-            for (int q = 0; q < kQ; ++q) {
-              const double feq = equilibrium(q, rho, 0.0, 0.0, 0.0);
-              even_->f(q).at(i, j, k) = feq;
-              odd_->f(q).at(i, j, k) = feq;
-            }
-          }
-      return;
+  /// Rewinds the state to level 0 for a new initial density — and, when
+  /// `new_geometry` is non-null, a new geometry of the same shape —
+  /// reusing every allocation (the lattices, masks and density cache are
+  /// refilled in place).  Bit-identical to constructing a fresh state on
+  /// the same inputs; the mechanism behind StencilSolver::reset for the
+  /// lbm operator.  Throws on shape mismatches and, for AA storage, on a
+  /// geometry whose outer layer is not fully solid.
+  void reset(const core::Grid3& initial_density,
+             const Geometry* new_geometry) {
+    const int nx = geo_.nx(), ny = geo_.ny(), nz = geo_.nz();
+    if (initial_density.nx() != nx || initial_density.ny() != ny ||
+        initial_density.nz() != nz)
+      throw std::invalid_argument(
+          "LbmState::reset: initial-density shape must match the "
+          "constructed shape");
+    if (new_geometry != nullptr) {
+      if (new_geometry->nx() != nx || new_geometry->ny() != ny ||
+          new_geometry->nz() != nz)
+        throw std::invalid_argument(
+            "LbmState::reset: geometry shape must match the constructed "
+            "shape");
+      geo_ = *new_geometry;
     }
-
-    // AA storage.  The alternating in-place arrangement requires every
-    // boundary cell to be solid (a fluid hull cell would be frozen at
-    // level 0 while the interior alternates).
-    for (int k = 0; k < nz; ++k)
-      for (int j = 0; j < ny; ++j)
-        for (int i = 0; i < nx; ++i)
-          if ((i == 0 || j == 0 || k == 0 || i == nx - 1 || j == ny - 1 ||
-               k == nz - 1) &&
-              geo_.at(i, j, k) == Cell::kFluid)
-            throw std::invalid_argument(
-                "LbmState: the AA storage policy requires a fully solid "
-                "outer layer (fluid boundary cells break the in-place "
-                "alternation)");
-    rho_init_.emplace(nx, ny, nz);
-    for (int k = 0; k < nz; ++k)
-      for (int j = 0; j < ny; ++j)
-        for (int i = 0; i < nx; ++i) {
-          const double rho0 = initial_density.at(i, j, k);
-          rho_init_->at(i, j, k) = rho0 > 0.0 ? rho0 : cfg_.rho0;
-        }
-    // Level 0 is even, so the lattice must hold the STREAMED
-    // arrangement of the level-0 equilibrium: A_q(y) = f_q(y - e_q).
-    // Slots whose source lies outside the box are never read; park them
-    // at the reference-density equilibrium.
-    aa_.emplace(nx, ny, nz);
-    for (int k = 0; k < nz; ++k)
-      for (int j = 0; j < ny; ++j)
-        for (int i = 0; i < nx; ++i)
-          for (int q = 0; q < kQ; ++q) {
-            const auto& e = kVelocities[static_cast<std::size_t>(q)];
-            const int si = i - e[0], sj = j - e[1], sk = k - e[2];
-            const bool in = si >= 0 && si < nx && sj >= 0 && sj < ny &&
-                            sk >= 0 && sk < nz;
-            const double rho = in ? rho_init_->at(si, sj, sk) : cfg_.rho0;
-            aa_->f(q).at(i, j, k) = equilibrium(q, rho, 0.0, 0.0, 0.0);
-          }
+    fluid_interior_ = 0;
+    initialize(initial_density);
   }
 
   [[nodiscard]] const Geometry& geometry() const { return geo_; }
@@ -326,6 +288,80 @@ class LbmState {
     if (storage_ != LbmStorage::kAA)
       throw std::logic_error(std::string("LbmState::") + fn +
                              ": this state uses two-lattice storage");
+  }
+
+  /// Builds the geometry masks and fills the distributions with the
+  /// level-0 equilibrium of `initial_density`.  Shared by construction
+  /// and reset(): lattices are allocated only when not yet engaged, so a
+  /// reset refills the existing buffers in place.
+  void initialize(const core::Grid3& initial_density) {
+    const int nx = geo_.nx(), ny = geo_.ny(), nz = geo_.nz();
+
+    // Geometry masks (interior cells; the outermost layer is never
+    // updated, its entries only mark it solid for the row kernels) and
+    // the fluid-cell count the throughput accounting reports.
+    masks_.assign(static_cast<std::size_t>(nx) * ny * nz, kMaskSolid);
+    for (int k = 1; k < nz - 1; ++k)
+      for (int j = 1; j < ny - 1; ++j)
+        for (int i = 1; i < nx - 1; ++i) {
+          const std::uint64_t m = cell_mask(geo_, i, j, k);
+          masks_[(static_cast<std::size_t>(k) * ny + j) * nx + i] = m;
+          if (!(m & kMaskSolid)) ++fluid_interior_;
+        }
+
+    if (storage_ == LbmStorage::kTwoLattice) {
+      if (!even_) even_.emplace(nx, ny, nz);
+      if (!odd_) odd_.emplace(nx, ny, nz);
+      for (int k = 0; k < nz; ++k)
+        for (int j = 0; j < ny; ++j)
+          for (int i = 0; i < nx; ++i) {
+            const double rho0 = initial_density.at(i, j, k);
+            const double rho = rho0 > 0.0 ? rho0 : cfg_.rho0;
+            for (int q = 0; q < kQ; ++q) {
+              const double feq = equilibrium(q, rho, 0.0, 0.0, 0.0);
+              even_->f(q).at(i, j, k) = feq;
+              odd_->f(q).at(i, j, k) = feq;
+            }
+          }
+      return;
+    }
+
+    // AA storage.  The alternating in-place arrangement requires every
+    // boundary cell to be solid (a fluid hull cell would be frozen at
+    // level 0 while the interior alternates).
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          if ((i == 0 || j == 0 || k == 0 || i == nx - 1 || j == ny - 1 ||
+               k == nz - 1) &&
+              geo_.at(i, j, k) == Cell::kFluid)
+            throw std::invalid_argument(
+                "LbmState: the AA storage policy requires a fully solid "
+                "outer layer (fluid boundary cells break the in-place "
+                "alternation)");
+    if (!rho_init_) rho_init_.emplace(nx, ny, nz);
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i) {
+          const double rho0 = initial_density.at(i, j, k);
+          rho_init_->at(i, j, k) = rho0 > 0.0 ? rho0 : cfg_.rho0;
+        }
+    // Level 0 is even, so the lattice must hold the STREAMED
+    // arrangement of the level-0 equilibrium: A_q(y) = f_q(y - e_q).
+    // Slots whose source lies outside the box are never read; park them
+    // at the reference-density equilibrium.
+    if (!aa_) aa_.emplace(nx, ny, nz);
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          for (int q = 0; q < kQ; ++q) {
+            const auto& e = kVelocities[static_cast<std::size_t>(q)];
+            const int si = i - e[0], sj = j - e[1], sk = k - e[2];
+            const bool in = si >= 0 && si < nx && sj >= 0 && sj < ny &&
+                            sk >= 0 && sk < nz;
+            const double rho = in ? rho_init_->at(si, sj, sk) : cfg_.rho0;
+            aa_->f(q).at(i, j, k) = equilibrium(q, rho, 0.0, 0.0, 0.0);
+          }
   }
 
   Geometry geo_;

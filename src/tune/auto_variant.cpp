@@ -26,7 +26,13 @@ core::StencilSolver make_auto_solver(std::string_view op,
   p.nz = initial.nz();
   p.op = std::string(op);
 
-  const Plan pl = plan(p);
+  // The session layer routes its shared cache file through the config
+  // (SolverConfig::tune_cache_path) so that every auto solve of one
+  // session replays the same cache; empty keeps the planner's default
+  // resolution (TB_TUNE_CACHE env, else the built-in path).
+  PlanOptions opts;
+  opts.cache_path = cfg.tune_cache_path;
+  const Plan pl = plan(p, opts);
   std::printf("tune: auto -> %s for %s (%s, %.1f MLUP/s in probe)\n",
               pl.best.describe().c_str(), p.describe().c_str(),
               pl.from_cache

@@ -6,6 +6,7 @@
 // decide who touches what.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -16,6 +17,38 @@
 #include "util/simd.hpp"
 
 namespace tb::util {
+
+// ---- allocation accounting ---------------------------------------------
+//
+// Every grid and lattice in the repository is backed by an AlignedBuffer,
+// which makes this the single chokepoint where "did that solve allocate?"
+// is answerable.  The counters are process-global relaxed atomics: cheap
+// enough to stay on unconditionally, precise enough for the session
+// layer's reuse guarantee ("the second pass over a pooled solver performs
+// zero grid allocations") to be a testable high-water-mark delta instead
+// of a comment.
+
+namespace detail {
+inline std::atomic<std::uint64_t> alloc_count{0};   ///< lifetime allocations
+inline std::atomic<std::uint64_t> alloc_bytes{0};   ///< bytes currently live
+inline std::atomic<std::uint64_t> alloc_peak{0};    ///< high-water of bytes
+}  // namespace detail
+
+/// Number of AlignedBuffer allocations performed since process start.
+/// Monotone: the delta across a code region counts its allocations.
+[[nodiscard]] inline std::uint64_t buffer_alloc_count() {
+  return detail::alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Bytes currently held by live AlignedBuffers.
+[[nodiscard]] inline std::uint64_t buffer_bytes_in_use() {
+  return detail::alloc_bytes.load(std::memory_order_relaxed);
+}
+
+/// High-water mark of buffer_bytes_in_use() since process start.
+[[nodiscard]] inline std::uint64_t buffer_bytes_high_water() {
+  return detail::alloc_peak.load(std::memory_order_relaxed);
+}
 
 /// Default alignment for grid storage: one cache line, which also satisfies
 /// every SIMD extension up to AVX-512.
@@ -49,6 +82,18 @@ class AlignedBuffer {
     const std::size_t bytes = round_up(count * sizeof(T), alignment);
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc{};
+    bytes_ = bytes;
+    detail::alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t live =
+        detail::alloc_bytes.fetch_add(bytes, std::memory_order_relaxed) +
+        bytes;
+    // Racy-but-monotone peak update: a lost race only under-reports by a
+    // concurrent allocation's bytes, which is fine for a high-water mark.
+    std::uint64_t peak = detail::alloc_peak.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !detail::alloc_peak.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed)) {
+    }
     // aligned_alloc contracts this already; verify it anyway — the vec
     // row kernels derive "row + i is vector-aligned iff i % W == 0" from
     // it, and a misaligned base would turn their streaming stores into
@@ -66,13 +111,15 @@ class AlignedBuffer {
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        size_(std::exchange(other.size_, 0)) {}
+        size_(std::exchange(other.size_, 0)),
+        bytes_(std::exchange(other.bytes_, 0)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
+      bytes_ = std::exchange(other.bytes_, 0);
     }
     return *this;
   }
@@ -98,13 +145,17 @@ class AlignedBuffer {
   }
 
   void release() noexcept {
+    if (data_ != nullptr)
+      detail::alloc_bytes.fetch_sub(bytes_, std::memory_order_relaxed);
     std::free(data_);
     data_ = nullptr;
     size_ = 0;
+    bytes_ = 0;
   }
 
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  std::size_t bytes_ = 0;  ///< rounded-up bytes charged to the counters
 };
 
 }  // namespace tb::util

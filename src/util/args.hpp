@@ -104,4 +104,40 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// The flag set every example shares, parsed once instead of copy-pasted
+/// seven times: problem size, step count, thread count, the registry
+/// selectors, and the scenario-file escape hatch that routes a CLI run
+/// through the JSON scenario engine.
+///
+/// This layer carries RAW values only — `variant`/`op` are untouched
+/// strings because validating them against the registry is core's job
+/// (core::configure_from_args / core::make_solver), and util cannot
+/// depend on core.  Seed the struct with the example's defaults, then
+/// parse():
+///
+///   util::StandardFlags flags;
+///   flags.n = 128; flags.steps = 64; flags.threads = 2;
+///   flags.parse(args);
+///   if (!flags.scenario.empty()) return run_scenario_file(flags.scenario);
+struct StandardFlags {
+  int n = 32;            ///< --n: cubic grid extent (boundary included)
+  int steps = 8;         ///< --steps: time levels to advance
+  int threads = 2;       ///< --threads (alias --t): worker thread count
+  std::string variant;   ///< --variant: registry name, "" = example default
+  std::string op;        ///< --operator: registry name, "" = example default
+  std::string scenario;  ///< --scenario <file>: delegate to the engine
+
+  void parse(const Args& args) {
+    n = static_cast<int>(args.get_int("n", n));
+    steps = static_cast<int>(args.get_int("steps", steps));
+    // --t predates --threads in several examples; accept both, with the
+    // spelled-out form winning when a caller passes the pair.
+    threads = static_cast<int>(args.get_int("t", threads));
+    threads = static_cast<int>(args.get_int("threads", threads));
+    variant = args.get("variant", variant);
+    op = args.get("operator", op);
+    scenario = args.get("scenario", scenario);
+  }
+};
+
 }  // namespace tb::util

@@ -1,0 +1,270 @@
+// SolverSession: the re-entrant arena behind the scenario engine.
+//
+// The load-bearing property: running the FULL 5-variant x 6-operator
+// matrix twice through one session gives (a) bit-identical solutions to
+// a fresh StencilSolver per case, (b) ZERO new AlignedBuffer
+// allocations on the second pass (every grid, lattice and coefficient
+// buffer is reused in place), and (c) a pool hit per repeated case.
+// Plus the reset() semantics the pool rests on: rewind-to-level-0
+// equals fresh construction for every operator, including the stateful
+// ones (varcoef face coefficients, lbm lattices/geometry, redblack
+// level origin).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/session.hpp"
+#include "core/solver.hpp"
+#include "support/grid_test_utils.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace tb::core {
+namespace {
+
+using tb::test::expect_grids_bitwise_equal;
+using tb::test::make_initial;
+using tb::test::make_kappa;
+
+const std::vector<std::string> kVariants{
+    "reference", "baseline", "pipelined", "compressed", "wavefront"};
+const std::vector<std::string> kOperators{"jacobi", "varcoef",  "box27",
+                                          "redblack", "lbm", "lbm:aa"};
+
+/// One matrix case through the session; aux grids where the operator
+/// needs them (varcoef kappa; lbm runs the built-in cavity).
+SolveRequest matrix_request(const std::string& variant,
+                            const std::string& op, const Grid3& initial,
+                            const Grid3& kappa, int steps) {
+  SolveRequest req;
+  req.variant = variant;
+  req.op = op;
+  req.cfg.pipeline.team_size = 2;
+  req.cfg.pipeline.block = {initial.nx(), 8, 8};
+  req.cfg.baseline.threads = 2;
+  req.cfg.wavefront.threads = 2;
+  req.initial = &initial;
+  req.aux = op == "varcoef" ? &kappa : nullptr;
+  req.steps = steps;
+  return req;
+}
+
+TEST(SolverSession, FullMatrixTwiceBitIdenticalZeroRealloc) {
+  const int n = 12, steps = 5;
+  const Grid3 initial = make_initial(n);
+  const Grid3 kappa = make_kappa(n);
+
+  // Fresh-solver oracles, one per (variant, operator).
+  std::vector<Grid3> expected;
+  for (const std::string& v : kVariants)
+    for (const std::string& op : kOperators) {
+      const SolveRequest req =
+          matrix_request(v, op, initial, kappa, steps);
+      StencilSolver fresh =
+          make_solver(v, op, req.cfg, initial, req.aux);
+      fresh.advance(steps);
+      expected.push_back(fresh.solution().clone());
+    }
+
+  SolverSession session;
+
+  // Pass 1: every case constructs its solver and must already match the
+  // fresh result bit for bit.
+  std::size_t idx = 0;
+  for (const std::string& v : kVariants)
+    for (const std::string& op : kOperators) {
+      const SolveRequest req =
+          matrix_request(v, op, initial, kappa, steps);
+      const SolveResult r = session.solve(req);
+      ASSERT_NE(r.solver, nullptr) << v << "/" << op;
+      EXPECT_FALSE(r.reused) << v << "/" << op;
+      expect_grids_bitwise_equal(r.solver->solution(), expected[idx]);
+      ++idx;
+    }
+  EXPECT_EQ(session.pool_size(), kVariants.size() * kOperators.size());
+  EXPECT_EQ(session.solvers_created(),
+            kVariants.size() * kOperators.size());
+  EXPECT_EQ(session.solvers_reused(), 0u);
+
+  // Pass 2: zero new buffer allocations — the arena high-water mark and
+  // allocation count must not move — and every case is a pool hit,
+  // still bit-identical.
+  const std::uint64_t allocs_before = util::buffer_alloc_count();
+  const std::uint64_t peak_before = util::buffer_bytes_high_water();
+  idx = 0;
+  for (const std::string& v : kVariants)
+    for (const std::string& op : kOperators) {
+      const SolveRequest req =
+          matrix_request(v, op, initial, kappa, steps);
+      const SolveResult r = session.solve(req);
+      ASSERT_NE(r.solver, nullptr) << v << "/" << op;
+      EXPECT_TRUE(r.reused) << v << "/" << op;
+      expect_grids_bitwise_equal(r.solver->solution(), expected[idx]);
+      ++idx;
+    }
+  EXPECT_EQ(util::buffer_alloc_count(), allocs_before)
+      << "second pass must not allocate any grid/lattice buffer";
+  EXPECT_EQ(util::buffer_bytes_high_water(), peak_before);
+  EXPECT_EQ(session.solvers_reused(),
+            kVariants.size() * kOperators.size());
+  EXPECT_EQ(session.pool_size(), kVariants.size() * kOperators.size());
+}
+
+TEST(SolverSession, LbmGeometryCodesResetRebuildsGeometry) {
+  const int n = 10, steps = 4;
+  Grid3 density(n, n, n);
+  density.fill(1.0);
+
+  // Cavity codes: closed box, top z face is the lid.
+  Grid3 cavity(n, n, n);
+  cavity.fill(0.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        if (i == 0 || j == 0 || k == 0 || i == n - 1 || j == n - 1 ||
+            k == n - 1)
+          cavity.at(i, j, k) = k == n - 1 ? 2.0 : 1.0;
+  // Same box with a solid pillar: a genuinely different flow.
+  Grid3 pillar = cavity.clone();
+  for (int k = 1; k < n - 1; ++k) pillar.at(n / 2, n / 2, k) = 1.0;
+
+  SolveRequest req;
+  req.variant = "baseline";
+  req.op = "lbm";
+  req.cfg.lbm_geometry_from_aux = true;
+  req.cfg.baseline.threads = 2;
+  req.initial = &density;
+  req.aux = &cavity;
+  req.steps = steps;
+
+  SolverSession session;
+  const SolveResult first = session.solve(req);
+  ASSERT_NE(first.solver, nullptr);
+
+  // Same key, new geometry: the pooled solver must rebuild its masks
+  // and match a fresh solver on the pillar geometry bit for bit.
+  req.aux = &pillar;
+  const SolveResult second = session.solve(req);
+  ASSERT_NE(second.solver, nullptr);
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(second.solver, first.solver);
+
+  StencilSolver fresh(second.solver->config(), density, pillar);
+  fresh.advance(steps);
+  expect_grids_bitwise_equal(second.solver->solution(), fresh.solution());
+}
+
+TEST(SolverSession, VarcoefResetRebuildsCoefficients) {
+  const int n = 10, steps = 4;
+  const Grid3 initial = make_initial(n);
+  const Grid3 slab = make_kappa(n);
+  Grid3 uniform(n, n, n);
+  uniform.fill(2.5);
+
+  SolveRequest req;
+  req.variant = "pipelined";
+  req.op = "varcoef";
+  req.cfg.pipeline.team_size = 2;
+  req.cfg.pipeline.block = {n, 8, 8};
+  req.initial = &initial;
+  req.aux = &slab;
+  req.steps = steps;
+
+  SolverSession session;
+  ASSERT_NE(session.solve(req).solver, nullptr);
+
+  req.aux = &uniform;
+  const SolveResult r = session.solve(req);
+  ASSERT_TRUE(r.reused);
+
+  StencilSolver fresh(r.solver->config(), initial, uniform);
+  fresh.advance(steps);
+  expect_grids_bitwise_equal(r.solver->solution(), fresh.solution());
+}
+
+TEST(SolverSession, DistinctShapesGetDistinctSolvers) {
+  const Grid3 small = make_initial(8);
+  const Grid3 big = make_initial(12);
+
+  SolveRequest req;
+  req.variant = "baseline";
+  req.op = "jacobi";
+  req.steps = 2;
+
+  SolverSession session;
+  req.initial = &small;
+  const StencilSolver* s1 = session.solve(req).solver;
+  req.initial = &big;
+  const StencilSolver* s2 = session.solve(req).solver;
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(session.pool_size(), 2u);
+  EXPECT_EQ(session.solvers_reused(), 0u);
+}
+
+TEST(SolverSession, MaxSolversBoundsThePool) {
+  SessionOptions opts;
+  opts.max_solvers = 1;
+  SolverSession session(opts);
+
+  const Grid3 a = make_initial(8);
+  const Grid3 b = make_initial(10);
+  SolveRequest req;
+  req.variant = "reference";
+  req.op = "jacobi";
+  req.steps = 2;
+
+  req.initial = &a;
+  EXPECT_NE(session.solve(req).solver, nullptr);
+  req.initial = &b;
+  // Pool full: the solve still runs, but nothing is retained.
+  EXPECT_EQ(session.solve(req).solver, nullptr);
+  EXPECT_EQ(session.pool_size(), 1u);
+  // The pooled key still hits.
+  req.initial = &a;
+  EXPECT_TRUE(session.solve(req).reused);
+}
+
+TEST(SolverSession, NullInitialThrows) {
+  SolverSession session;
+  SolveRequest req;
+  req.variant = "baseline";
+  req.op = "jacobi";
+  EXPECT_THROW(session.solve(req), std::invalid_argument);
+}
+
+TEST(StencilSolverReset, ShapeMismatchThrows) {
+  const Grid3 initial = make_initial(8);
+  const Grid3 other = make_initial(10);
+  SolverConfig cfg;
+  cfg.variant = Variant::kReference;
+  StencilSolver solver(cfg, initial);
+  EXPECT_THROW(solver.reset(other), std::invalid_argument);
+}
+
+TEST(StencilSolverReset, RewindsAfterOddStepCounts) {
+  // Odd step counts leave the facade with swapped parities internally;
+  // reset must still reproduce a fresh solver exactly.
+  for (const std::string& v :
+       {std::string("baseline"), std::string("compressed"),
+        std::string("wavefront")}) {
+    const Grid3 initial = make_initial(9);
+    SolverConfig cfg;
+    cfg.pipeline.team_size = 2;
+    cfg.pipeline.block = {9, 8, 8};
+    cfg.baseline.threads = 2;
+    cfg.wavefront.threads = 2;
+    StencilSolver solver = make_solver(v, "jacobi", cfg, initial, nullptr);
+    solver.advance(3);  // odd: parity swap path
+    solver.reset(initial);
+    EXPECT_EQ(solver.levels_done(), 0);
+    solver.advance(5);
+
+    StencilSolver fresh = make_solver(v, "jacobi", cfg, initial, nullptr);
+    fresh.advance(5);
+    expect_grids_bitwise_equal(solver.solution(), fresh.solution());
+  }
+}
+
+}  // namespace
+}  // namespace tb::core

@@ -1,0 +1,247 @@
+// Scenario config + engine: JSON expansion semantics (defaults,
+// cross-product sweeps, repeats, shapes, consumer hooks) and the
+// engine's bit-identity guarantee — every case run through the session
+// matches a fresh StencilSolver on the same inputs.  Also pins the
+// shipped scenario files: sweep.json must expand to the >= 12-case
+// sweep the CI smoke job runs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "scenario/grids.hpp"
+#include "scenario/scenario_config.hpp"
+#include "scenario/scenario_engine.hpp"
+#include "support/grid_test_utils.hpp"
+
+namespace tb::scenario {
+namespace {
+
+ScenarioConfig load(const std::string& text) {
+  ScenarioConfig config;
+  config.load_text(text);
+  return config;
+}
+
+TEST(ScenarioConfig, DefaultsMergeUnderCases) {
+  const ScenarioConfig c = load(R"({
+    "name": "t",
+    "defaults": { "steps": 5, "threads": 3, "variant": "baseline" },
+    "cases": [ { "operator": "box27", "n": 10 },
+               { "operator": "jacobi", "steps": 7 } ]
+  })");
+  ASSERT_EQ(c.cases().size(), 2u);
+  EXPECT_EQ(c.name(), "t");
+  EXPECT_EQ(c.cases()[0].op, "box27");
+  EXPECT_EQ(c.cases()[0].steps, 5);
+  EXPECT_EQ(c.cases()[0].threads, 3);
+  EXPECT_EQ(c.cases()[0].nx, 10);
+  EXPECT_EQ(c.cases()[1].steps, 7);  // case overrides default
+  EXPECT_EQ(c.cases()[1].variant, "baseline");
+}
+
+TEST(ScenarioConfig, SweepListsCrossProduct) {
+  const ScenarioConfig c = load(R"({
+    "cases": [ { "operator": ["jacobi", "box27"],
+                 "variant": ["baseline", "wavefront"],
+                 "n": [8, 12], "steps": 3 } ]
+  })");
+  ASSERT_EQ(c.cases().size(), 8u);  // 2 x 2 x 2
+  // Document order: later axes vary fastest.
+  EXPECT_EQ(c.cases()[0].op, "jacobi");
+  EXPECT_EQ(c.cases()[0].variant, "baseline");
+  EXPECT_EQ(c.cases()[0].nx, 8);
+  EXPECT_EQ(c.cases()[1].nx, 12);
+  EXPECT_EQ(c.cases()[7].op, "box27");
+  EXPECT_EQ(c.cases()[7].variant, "wavefront");
+  // Generated names are unique.
+  for (std::size_t i = 0; i < c.cases().size(); ++i)
+    for (std::size_t j = i + 1; j < c.cases().size(); ++j)
+      EXPECT_NE(c.cases()[i].name, c.cases()[j].name);
+}
+
+TEST(ScenarioConfig, RepeatDuplicatesCases) {
+  const ScenarioConfig c = load(R"({
+    "cases": [ { "operator": "jacobi", "n": 8, "repeat": 3 } ]
+  })");
+  ASSERT_EQ(c.cases().size(), 3u);
+  EXPECT_EQ(c.cases()[0].repeat_index, 0);
+  EXPECT_EQ(c.cases()[2].repeat_index, 2);
+  EXPECT_EQ(c.cases()[2].repeat_count, 3);
+  EXPECT_NE(c.cases()[0].name, c.cases()[1].name);
+}
+
+TEST(ScenarioConfig, ShapeTripleWinsOverN) {
+  const ScenarioConfig c = load(R"({
+    "cases": [ { "shape": [9, 7, 11], "n": 32 } ]
+  })");
+  EXPECT_EQ(c.cases()[0].nx, 9);
+  EXPECT_EQ(c.cases()[0].ny, 7);
+  EXPECT_EQ(c.cases()[0].nz, 11);
+}
+
+TEST(ScenarioConfig, ScalarCaseKeyShadowsListDefault) {
+  const ScenarioConfig c = load(R"({
+    "defaults": { "n": [8, 12, 16] },
+    "cases": [ { "operator": "jacobi", "n": 10 } ]
+  })");
+  ASSERT_EQ(c.cases().size(), 1u);
+  EXPECT_EQ(c.cases()[0].nx, 10);
+}
+
+TEST(ScenarioConfig, RejectsUnknownKeysAndSections) {
+  EXPECT_THROW(load(R"({ "cases": [ { "opertor": "jacobi" } ] })"),
+               std::invalid_argument);
+  EXPECT_THROW(load(R"({ "tyop": 1, "cases": [ {} ] })"),
+               std::invalid_argument);
+  EXPECT_THROW(load(R"({ "name": "x" })"), std::invalid_argument);
+  EXPECT_THROW(load(R"({ "cases": [ { "initial": "rand" } ] })"),
+               std::invalid_argument);
+  EXPECT_THROW(load(R"({ "cases": [ { "n": 0 } ] })"),
+               std::invalid_argument);
+}
+
+struct RecordingConsumer final : IScenarioConsumer {
+  std::string seen;
+  [[nodiscard]] std::string_view section() const override {
+    return "custom";
+  }
+  void consume(const util::json::Value& v) override {
+    seen = v.get("key").as_string();
+  }
+};
+
+TEST(ScenarioConfig, ConsumerHooksClaimUnknownSections) {
+  RecordingConsumer consumer;
+  ScenarioConfig config;
+  config.register_consumer(&consumer);
+  config.load_text(R"({
+    "custom": { "key": "value" },
+    "cases": [ { "operator": "jacobi", "n": 8 } ]
+  })");
+  EXPECT_EQ(consumer.seen, "value");
+  // Built-in sections cannot be claimed, nor can a section twice.
+  RecordingConsumer other;
+  EXPECT_THROW(config.register_consumer(&consumer),
+               std::invalid_argument);
+  struct CasesConsumer final : IScenarioConsumer {
+    [[nodiscard]] std::string_view section() const override {
+      return "cases";
+    }
+    void consume(const util::json::Value&) override {}
+  } cases_consumer;
+  EXPECT_THROW(config.register_consumer(&cases_consumer),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGrids, GeometryResolutionAndValidation) {
+  CaseSpec spec;
+  spec.op = "varcoef";
+  EXPECT_EQ(resolve_geometry(spec), "slab");
+  EXPECT_TRUE(make_aux(spec).has_value());
+  spec.op = "lbm";
+  EXPECT_EQ(resolve_geometry(spec), "none");
+  EXPECT_FALSE(make_aux(spec).has_value());
+  spec.geometry = "slab";
+  EXPECT_THROW(make_aux(spec), std::invalid_argument);  // material on lbm
+  spec.op = "jacobi";
+  spec.geometry = "cavity";
+  EXPECT_THROW(make_aux(spec), std::invalid_argument);  // codes on jacobi
+  spec.op = "varcoef";
+  spec.geometry = "none";
+  EXPECT_THROW(make_aux(spec), std::invalid_argument);  // varcoef bare
+}
+
+TEST(ScenarioEngine, CasesBitIdenticalToFreshSolvers) {
+  ScenarioConfig config;
+  config.load_text(R"({
+    "name": "bitident",
+    "defaults": { "steps": 4, "threads": 2, "n": 10 },
+    "cases": [
+      { "operator": ["jacobi", "varcoef", "redblack"],
+        "variant": ["baseline", "compressed"], "repeat": 2 },
+      { "operator": "lbm", "variant": "pipelined", "initial": "uniform",
+        "steps": 6 }
+    ]
+  })");
+  ASSERT_GE(config.cases().size(), 12u);
+
+  ScenarioEngine engine;
+  const std::vector<CaseResult> results = engine.run(config);
+  ASSERT_EQ(results.size(), config.cases().size());
+
+  // After the full run each case's pooled solver holds the solution of
+  // its (identical-input) last repeat; re-solving through the pool —
+  // reset + advance, the path the repeats took — must match a fresh
+  // StencilSolver bit for bit.
+  for (const CaseSpec& spec : config.cases()) {
+    const core::Grid3 initial = make_initial(spec);
+    const auto aux = make_aux(spec);
+
+    core::SolverConfig cfg;
+    cfg.pipeline.teams = 1;
+    cfg.pipeline.team_size = spec.threads;
+    cfg.pipeline.block = {spec.nx, 16, 16};
+    cfg.baseline.threads = spec.threads;
+    cfg.wavefront.threads = spec.threads;
+    cfg.lbm.omega = spec.omega;
+    cfg.lbm.lid_velocity = {spec.ulid, 0.0, 0.0};
+    cfg.lbm_geometry_from_aux = geometry_is_codes(spec);
+    core::StencilSolver fresh = core::make_solver(
+        spec.variant, spec.op, cfg, initial, aux ? &*aux : nullptr);
+    fresh.advance(spec.steps);
+
+    core::SolveRequest req;
+    req.variant = spec.variant;
+    req.op = spec.op;
+    req.cfg = cfg;
+    req.initial = &initial;
+    req.aux = aux ? &*aux : nullptr;
+    req.steps = spec.steps;
+    const core::SolveResult pooled = engine.session().solve(req);
+    ASSERT_NE(pooled.solver, nullptr) << spec.name;
+    EXPECT_TRUE(pooled.reused) << spec.name;
+    tb::test::expect_grids_bitwise_equal(pooled.solver->solution(),
+                                         fresh.solution());
+  }
+
+  // The repeats hit the pool during the run itself.
+  EXPECT_GT(engine.session().solvers_reused(), 0u);
+}
+
+TEST(ScenarioEngine, ShippedSweepScenarioExpandsAndRuns) {
+  const std::string dir = TB_SCENARIO_DIR;
+  ScenarioConfig config;
+  config.load_file(dir + "/sweep.json");
+  EXPECT_EQ(config.name(), "sweep");
+  // The acceptance floor: one run_scenario invocation on sweep.json is
+  // a >= 12-case sweep in a single process.
+  EXPECT_GE(config.cases().size(), 12u);
+
+  int repeats = 0;
+  for (const CaseSpec& spec : config.cases())
+    if (spec.repeat_count > 1) ++repeats;
+  EXPECT_GT(repeats, 0) << "sweep.json must contain repeat shapes";
+}
+
+TEST(ScenarioEngine, ShippedScenariosParse) {
+  const std::string dir = TB_SCENARIO_DIR;
+  for (const char* file :
+       {"lid_cavity.json", "quickstart.json", "composite.json"}) {
+    ScenarioConfig config;
+    config.load_file(dir + "/" + file);
+    EXPECT_FALSE(config.cases().empty()) << file;
+  }
+  // lid_cavity.json must carry an LBM geometry-code case.
+  ScenarioConfig lid;
+  lid.load_file(dir + "/lid_cavity.json");
+  bool codes = false;
+  for (const CaseSpec& spec : lid.cases())
+    if (geometry_is_codes(spec)) codes = true;
+  EXPECT_TRUE(codes);
+}
+
+}  // namespace
+}  // namespace tb::scenario
