@@ -14,6 +14,7 @@
 // workloads are .json files under scenarios/, not new C++.
 #include <cstdio>
 
+#include "scenario/cluster_section.hpp"
 #include "scenario/scenario_engine.hpp"
 #include "tune/planner.hpp"  // linking tb_tune registers --variant auto
 #include "util/args.hpp"
@@ -28,6 +29,12 @@ int main(int argc, char** argv) {
                  "[--tune-cache <file>]\n");
     return 2;
   }
+  // "cluster" sections route modeled scaling sweeps through the
+  // discrete-event simnet backend; their rows land in BENCH_simnet.json
+  // (and the run database when telemetry is on) next to the case rows.
+  tb::scenario::ClusterSection cluster({/*verbose=*/true,
+                                        /*bench=*/"simnet"});
   return tb::scenario::run_scenario_file(flags.scenario,
-                                         args.get("tune-cache", ""));
+                                         args.get("tune-cache", ""),
+                                         {&cluster});
 }

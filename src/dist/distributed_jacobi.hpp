@@ -49,6 +49,7 @@
 #include "core/grid.hpp"
 #include "core/pipeline.hpp"
 #include "core/stencil_op.hpp"
+#include "dist/decomposition.hpp"
 #include "lbm/stencil_op.hpp"  // LbmConfig + StateFieldsTraits<LbmOp>
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -103,32 +104,23 @@ class DistributedStencil {
                      const core::Grid3* global_aux = nullptr)
       : comm_(comm),
         cfg_(cfg),
-        topo_(comm.size(), cfg.proc_dims),
         halo_(cfg.pipeline.levels_per_sweep()),
         global_n_{global_initial.nx(), global_initial.ny(),
-                  global_initial.nz()} {
-    const std::array<int, 3> coords = topo_.coords_of(comm.rank());
-    for (int d = 0; d < 3; ++d) {
-      const int interior = global_n_[d] - 2;
-      const int parts = cfg.proc_dims[d];
-      if (interior < parts)
-        throw std::invalid_argument(
-            "DistributedStencil: more ranks than interior cells");
-      // The minimum share of the balanced partition is interior/parts
-      // (some ranks get one more).  The admissibility check must depend
-      // only on the *global* geometry: if it looked at this rank's own
-      // share, ranks of an uneven partition would disagree on whether to
-      // throw and the surviving ranks would deadlock in the exchange.
-      if (parts > 1 && interior / parts < halo_)
-        throw std::invalid_argument(
-            "DistributedStencil: subdomain thinner than the halo width");
-      const auto [lo, cnt] = owned_range(d, coords[d]);
-      own_lo_[d] = lo;
-      own_[d] = cnt;
-      neighbor_lo_[d] = topo_.neighbor(comm.rank(), d, -1);
-      neighbor_hi_[d] = topo_.neighbor(comm.rank(), d, +1);
-      local_n_[d] = own_[d] + 2 * halo_;
-    }
+                  global_initial.nz()},
+        // Decomposition performs the admissibility checks (more ranks
+        // than interior cells, subdomain thinner than the halo) — they
+        // depend only on global inputs, so ranks of an uneven partition
+        // agree on whether to throw and none is left behind in the
+        // exchange.
+        decomp_(global_n_, cfg.proc_dims, halo_) {
+    if (comm.size() != decomp_.ranks())
+      throw std::invalid_argument("CartTopology: dims product != ranks");
+    geom_ = decomp_.geometry(comm.rank());
+    own_lo_ = geom_.own_lo;
+    own_ = geom_.own;
+    local_n_ = geom_.local_n;
+    neighbor_lo_ = geom_.neighbor_lo;
+    neighbor_hi_ = geom_.neighbor_hi;
 
     a_ = core::Grid3(local_n_[0], local_n_[1], local_n_[2]);
     b_ = core::Grid3(local_n_[0], local_n_[1], local_n_[2]);
@@ -260,7 +252,8 @@ class DistributedStencil {
       for (int r = 0; r < comm_.size(); ++r) {
         std::array<int, 3> lo, cnt;
         for (int d = 0; d < 3; ++d)
-          std::tie(lo[d], cnt[d]) = owned_range(d, topo_.coords_of(r)[d]);
+          std::tie(lo[d], cnt[d]) =
+              owned_range(d, decomp_.topology().coords_of(r)[d]);
         std::vector<double> buf(static_cast<std::size_t>(cnt[0]) * cnt[1] *
                                 cnt[2]);
         if (r == root) {
@@ -318,7 +311,8 @@ class DistributedStencil {
         for (int r = 0; r < comm_.size(); ++r) {
           std::array<int, 3> lo, cnt;
           for (int d = 0; d < 3; ++d)
-            std::tie(lo[d], cnt[d]) = owned_range(d, topo_.coords_of(r)[d]);
+            std::tie(lo[d], cnt[d]) =
+                owned_range(d, decomp_.topology().coords_of(r)[d]);
           std::vector<double> buf(static_cast<std::size_t>(cnt[0]) *
                                   cnt[1] * cnt[2] * nf);
           if (r == root) {
@@ -353,16 +347,11 @@ class DistributedStencil {
   static constexpr int kGatherTag = 64;
   static constexpr int kStateGatherTag = 65;
 
-  /// Balanced partition of the global interior along dimension d:
-  /// {first owned global index, owned cell count} of process coordinate c.
-  /// The single source of truth for the decomposition — the constructor
-  /// and gather() must agree on it.
+  /// Balanced partition of the global interior along dimension d —
+  /// delegated to Decomposition, the single source of truth shared with
+  /// the rank-program builder.
   [[nodiscard]] std::pair<int, int> owned_range(int d, int c) const {
-    const int interior = global_n_[d] - 2;
-    const int parts = cfg_.proc_dims[d];
-    const int lo = 1 + static_cast<int>(1LL * c * interior / parts);
-    const int next = 1 + static_cast<int>(1LL * (c + 1) * interior / parts);
-    return {lo, next - lo};
+    return decomp_.owned_range(d, c);
   }
 
   [[nodiscard]] int to_global(int local, int d) const {
@@ -396,44 +385,17 @@ class DistributedStencil {
     return grids;
   }
 
-  /// Per-level update regions in local coordinates: level s may update
-  /// cells at ghost depth <= h - s on sides with a neighbour, and only the
-  /// global interior on physical-boundary sides.
+  /// Per-level update regions in local coordinates — delegated to
+  /// Decomposition so the rank-program builder prices the same regions.
   [[nodiscard]] std::vector<core::LevelClip> level_clips() const {
-    std::vector<core::LevelClip> clips(static_cast<std::size_t>(halo_));
-    for (int s = 1; s <= halo_; ++s) {
-      core::LevelClip& c = clips[static_cast<std::size_t>(s - 1)];
-      for (int d = 0; d < 3; ++d) {
-        c.lo[d] = neighbor_lo_[d] >= 0 ? s : halo_;
-        c.hi[d] =
-            neighbor_hi_[d] >= 0 ? local_n_[d] - s : halo_ + own_[d];
-      }
-    }
-    return clips;
+    return decomp_.level_clips(geom_);
   }
 
-  /// Modeled seconds of one epoch's cell updates.  With `inner_only`,
-  /// only cells whose whole dependency cone stays inside owned data are
-  /// counted: a level-s update transitively reads base-level values
-  /// within distance s, so on a neighbour-facing side it must keep a
-  /// distance of s from the owned-region boundary to be computable
-  /// before the ghost layers arrive.
+  /// Modeled seconds of one epoch's cell updates (Decomposition counts
+  /// the cells; see compute_cells there for the inner_only semantics).
   [[nodiscard]] double compute_seconds(bool inner_only) const {
-    long long cells = 0;
-    const std::vector<core::LevelClip> clips = level_clips();
-    for (int s = 1; s <= halo_; ++s) {
-      const core::LevelClip& c = clips[static_cast<std::size_t>(s - 1)];
-      long long full = 1, inner = 1;
-      for (int d = 0; d < 3; ++d) {
-        const int lo = neighbor_lo_[d] >= 0 ? halo_ + s : c.lo[d];
-        const int hi =
-            neighbor_hi_[d] >= 0 ? halo_ + own_[d] - s : c.hi[d];
-        full *= std::max(0, c.hi[d] - c.lo[d]);
-        inner *= std::max(0, hi - lo);
-      }
-      cells += inner_only ? inner : full;
-    }
-    return static_cast<double>(cells) / cfg_.proc_lups;
+    return static_cast<double>(decomp_.compute_cells(geom_, inner_only)) /
+           cfg_.proc_lups;
   }
 
   /// Multi-layer halo exchange of the base-level grids, x -> y -> z.  The
@@ -460,28 +422,17 @@ class DistributedStencil {
       obs::ScopedTimer st(exch_h);
       obs::Span span(kDimSpan[d], "dist");
       obs::Counter* bytes = tel ? &reg.counter(kDimBytes[d]) : nullptr;
-      std::array<int, 3> lo{0, 0, 0}, hi{local_n_[0], local_n_[1],
-                                         local_n_[2]};
-      for (int e = 0; e < 3; ++e) {
-        if (e < d) {  // refreshed: full ghost where a neighbour exists
-          lo[e] = neighbor_lo_[e] >= 0 ? 0 : halo_ - 1;
-          hi[e] = neighbor_hi_[e] >= 0 ? local_n_[e] : halo_ + own_[e] + 1;
-        } else {  // not yet: owned cells plus the physical boundary layer
-          lo[e] = neighbor_lo_[e] >= 0 ? halo_ : halo_ - 1;
-          hi[e] = neighbor_hi_[e] >= 0 ? halo_ + own_[e]
-                                       : halo_ + own_[e] + 1;
-        }
-      }
       // Post both sends first (buffered/eager, so this never deadlocks),
-      // then receive.  Tags encode (dimension, direction).
+      // then receive.  Tags encode (dimension, direction).  The slab
+      // boxes come from Decomposition — the identical boxes the
+      // rank-program builder prices, which is what keeps the modeled
+      // bytes of the event engine equal to the executed bytes here.
       for (int side = 0; side < 2; ++side) {
         const int nb = side == 0 ? neighbor_lo_[d] : neighbor_hi_[d];
         if (nb < 0) continue;
-        std::array<int, 3> slo = lo, shi = hi;
-        slo[d] = side == 0 ? halo_ : own_[d];
-        shi[d] = slo[d] + halo_;
+        const Box3 s = decomp_.send_box(geom_, d, side);
         std::vector<double> buf;
-        pack(grids, slo, shi, buf);
+        pack(grids, s.lo, s.hi, buf);
         comm_.send(nb, face_tag(d, side), buf);
         if (tel) {
           bytes->add(buf.size() * sizeof(double));
@@ -491,12 +442,10 @@ class DistributedStencil {
       for (int side = 0; side < 2; ++side) {
         const int nb = side == 0 ? neighbor_lo_[d] : neighbor_hi_[d];
         if (nb < 0) continue;
-        std::array<int, 3> rlo = lo, rhi = hi;
-        rlo[d] = side == 0 ? 0 : halo_ + own_[d];
-        rhi[d] = rlo[d] + halo_;
-        std::vector<double> buf(box_cells(rlo, rhi) * grids.size());
+        const Box3 r = decomp_.recv_box(geom_, d, side);
+        std::vector<double> buf(r.cells() * grids.size());
         comm_.recv(nb, face_tag(d, 1 - side), buf);
-        unpack(grids, rlo, rhi, buf);
+        unpack(grids, r.lo, r.hi, buf);
       }
     }
   }
@@ -577,12 +526,12 @@ class DistributedStencil {
   /// Rank of the (possibly diagonal) neighbour offset by `v`; -1 if it
   /// falls outside the process grid.
   [[nodiscard]] int diag_neighbor(const std::array<int, 3>& v) const {
-    std::array<int, 3> c = topo_.coords_of(comm_.rank());
+    std::array<int, 3> c = geom_.coords;
     for (int d = 0; d < 3; ++d) {
       c[d] += v[d];
       if (c[d] < 0 || c[d] >= cfg_.proc_dims[d]) return -1;
     }
-    return topo_.rank_of(c);
+    return decomp_.topology().rank_of(c);
   }
 
   [[nodiscard]] static int face_tag(int d, int side) { return d * 2 + side; }
@@ -647,9 +596,11 @@ class DistributedStencil {
 
   simnet::Comm& comm_;
   DistConfig cfg_;
-  simnet::CartTopology topo_;
   int halo_;
   std::array<int, 3> global_n_;
+  Decomposition decomp_;  ///< shared geometry (also the rank-program source)
+  RankGeometry geom_;     ///< this rank's slice of decomp_
+  // Convenience copies of geom_ kept for the hot index arithmetic below.
   std::array<int, 3> own_lo_{};    ///< global index of first owned cell
   std::array<int, 3> own_{};       ///< owned cells per dimension
   std::array<int, 3> local_n_{};   ///< local grid extents (own + 2h)

@@ -161,6 +161,9 @@ void expand(const json::Object& entries, std::size_t axis, CaseSpec spec,
   }
 }
 
+/// Empty stand-in range for scenarios without a "cases" array.
+const json::Array kNoCases{};
+
 }  // namespace
 
 void ScenarioConfig::register_consumer(IScenarioConsumer* consumer) {
@@ -189,6 +192,7 @@ void ScenarioConfig::load_text(const std::string& text,
   std::vector<CaseSpec> cases;
   const json::Value* defaults = nullptr;
   const json::Value* case_list = nullptr;
+  bool consumed_section = false;
 
   for (const auto& [key, value] : top) {
     if (key == "name") {
@@ -208,14 +212,19 @@ void ScenarioConfig::load_text(const std::string& text,
             "scenario: unknown top-level section \"" + key +
             "\" and no consumer claims it");
       owner->consume(value);
+      consumed_section = true;
     }
   }
 
-  if (case_list == nullptr)
+  // "cases" stays mandatory for plain scenarios, but a file that only
+  // feeds consumer sections (e.g. a pure cluster-sweep scenario) is
+  // complete without solver cases.
+  if (case_list == nullptr && !consumed_section)
     throw std::invalid_argument("scenario: missing \"cases\" array (" +
                                 origin + ")");
 
-  for (const json::Value& case_value : case_list->as_array()) {
+  for (const json::Value& case_value :
+       case_list != nullptr ? case_list->as_array() : kNoCases) {
     // Merge defaults under the case with last-wins key replacement (a
     // scalar case key must fully shadow a list-valued default, not just
     // be applied after its expansion).  "op" is normalized to
@@ -239,7 +248,7 @@ void ScenarioConfig::load_text(const std::string& text,
     expand(merged, 0, CaseSpec{}, /*saw_shape=*/false, /*swept=*/false,
            /*repeat=*/1, cases);
   }
-  if (cases.empty())
+  if (case_list != nullptr && cases.empty())
     throw std::invalid_argument("scenario: \"cases\" expanded to nothing (" +
                                 origin + ")");
 

@@ -39,7 +39,10 @@
 // Unknown top-level sections route to registered IScenarioConsumer hooks
 // (the CConfigManager/IConfigConsumer split), so subsystems can claim
 // their own config blocks without this parser knowing them; an unclaimed
-// unknown section is an error, as is an unknown key inside a case.
+// unknown section is an error, as is an unknown key inside a case.  A
+// file whose only content is consumer sections (e.g. a pure "cluster"
+// sweep, scenario/cluster_section.hpp) may omit "cases" entirely;
+// otherwise "cases" stays mandatory.
 #pragma once
 
 #include <string>

@@ -113,9 +113,12 @@ std::vector<CaseResult> ScenarioEngine::run(const ScenarioConfig& config) {
 }
 
 int run_scenario_file(const std::string& path,
-                      const std::string& tune_cache) {
+                      const std::string& tune_cache,
+                      const std::vector<IScenarioConsumer*>& consumers) {
   try {
     ScenarioConfig config;
+    for (IScenarioConsumer* c : consumers) config.register_consumer(c);
+    // Consumer sections (cluster sweeps etc.) run during the load.
     config.load_file(path);
 
     EngineOptions opts;

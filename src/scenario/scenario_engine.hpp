@@ -58,7 +58,11 @@ class ScenarioEngine {
 /// share: load `path`, run every case with per-case stdout lines and a
 /// summary, return a process exit code (0 ok, 1 on any error, printed
 /// to stderr).  `tune_cache` seeds SessionOptions::tune_cache_path.
+/// `consumers` are registered on the config before loading, so files
+/// may carry their sections (e.g. "cluster" sweeps); a file consisting
+/// only of consumer sections runs zero solver cases, which is fine.
 int run_scenario_file(const std::string& path,
-                      const std::string& tune_cache = {});
+                      const std::string& tune_cache = {},
+                      const std::vector<IScenarioConsumer*>& consumers = {});
 
 }  // namespace tb::scenario

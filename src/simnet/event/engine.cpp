@@ -1,0 +1,404 @@
+#include "simnet/event/engine.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace tb::simnet::event {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One transfer draining through the fabric.
+struct Flow {
+  std::vector<int> links;
+  double bytes_left = 0.0;
+  double rate = 0.0;         ///< bytes/s under the current link shares
+  double last_update = 0.0;  ///< sim time bytes_left was last accrued at
+  std::uint64_t version = 0;  ///< bumps on every rate change
+  bool active = false;
+
+  int src = -1, dst = -1, tag = 0;
+  std::uint64_t msg_seq = 0;  ///< entry in the (dst,src,tag) queue
+  bool blocking = false;      ///< sender waits for completion
+  double path_latency = 0.0;
+  double pack_seconds = 0.0;
+};
+
+/// In-order (dst, src, tag) message queue entry; arrival < 0 while the
+/// flow is still draining.
+struct PendingMsg {
+  std::uint64_t seq = 0;
+  double arrival = -1.0;
+  int waiter = -1;            ///< rank blocked on this entry
+  double waiter_clock = 0.0;  ///< its clock when it blocked
+};
+
+struct RankState {
+  std::size_t pc = 0;
+  double clock = 0.0;
+  bool done = false;
+};
+
+enum class EvKind { kRankStep, kFlowStart, kFlowEnd };
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break: deterministic replay
+  EvKind kind = EvKind::kRankStep;
+  int index = 0;               ///< rank (kRankStep) or flow id
+  std::uint64_t version = 0;   ///< kFlowEnd staleness check
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+  }
+};
+
+class EngineImpl {
+ public:
+  EngineImpl(const topo::ClusterFabric& fabric,
+             const std::vector<RankProgram>& programs,
+             const EngineConfig& cfg)
+      : fabric_(fabric), programs_(programs), cfg_(cfg) {
+    if (static_cast<int>(programs.size()) != fabric.ranks())
+      throw std::invalid_argument(
+          "event::run_programs: one program per fabric rank required");
+    const std::size_t n = programs.size();
+    ranks_.resize(n);
+    link_flows_.resize(fabric.links().size());
+    res_.final_times.assign(n, 0.0);
+    res_.epoch_times.assign(n, {});
+    res_.bytes_sent.assign(n, 0);
+    res_.messages_sent.assign(n, 0);
+  }
+
+  EngineResult run() {
+    for (int r = 0; r < static_cast<int>(ranks_.size()); ++r)
+      push_event(0.0, EvKind::kRankStep, r, 0);
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      ++res_.events;
+      switch (ev.kind) {
+        case EvKind::kRankStep:
+          step_rank(ev.index);
+          break;
+        case EvKind::kFlowStart:
+          start_flow(ev.index, ev.time);
+          break;
+        case EvKind::kFlowEnd:
+          if (flows_[static_cast<std::size_t>(ev.index)].version ==
+              ev.version)
+            end_flow(ev.index, ev.time);
+          break;
+      }
+    }
+    for (const RankState& st : ranks_)
+      if (!st.done)
+        throw std::runtime_error(
+            "event::run_programs: deadlock — a rank is waiting on a "
+            "message or barrier that never completes");
+    return std::move(res_);
+  }
+
+ private:
+  using MsgKey = std::tuple<int, int, int>;  ///< (dst, src, tag)
+
+  void push_event(double time, EvKind kind, int index,
+                  std::uint64_t version) {
+    events_.push(Event{time, event_seq_++, kind, index, version});
+  }
+
+  /// Advances rank r's program until it blocks or finishes.  The rank's
+  /// clock only moves forward, so any event scheduled here lies at or
+  /// after the current event time.
+  void step_rank(int r) {
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    const std::vector<RankOp>& ops =
+        programs_[static_cast<std::size_t>(r)].ops;
+    while (st.pc < ops.size()) {
+      const RankOp& op = ops[st.pc];
+      switch (op.kind) {
+        case RankOpKind::kCompute:
+          st.clock += op.seconds;
+          ++st.pc;
+          break;
+        case RankOpKind::kEpochMark:
+          res_.epoch_times[static_cast<std::size_t>(r)].push_back(st.clock);
+          ++st.pc;
+          break;
+        case RankOpKind::kSend:
+        case RankOpKind::kIsend: {
+          const bool blocking = op.kind == RankOpKind::kSend;
+          const int f = create_flow(r, op, blocking);
+          ++st.pc;
+          if (blocking) {
+            // Resumed by end_flow at completion time.
+            return;
+          }
+          // isend: the packing cost was charged in create_flow; keep
+          // stepping.
+          (void)f;
+          break;
+        }
+        case RankOpKind::kRecv: {
+          const MsgKey key{r, op.peer, op.tag};
+          std::deque<PendingMsg>& q = queues_[key];
+          if (!q.empty() && q.front().arrival >= 0.0) {
+            st.clock = std::max(st.clock, q.front().arrival);
+            q.pop_front();
+            ++st.pc;
+            break;
+          }
+          if (!q.empty()) {  // in flight: wait on this entry
+            q.front().waiter = r;
+            q.front().waiter_clock = st.clock;
+            return;
+          }
+          parked_[key] = {r, st.clock};  // not even sent yet
+          return;
+        }
+        case RankOpKind::kBarrier: {
+          ++st.pc;
+          barrier_waiters_.push_back(r);
+          barrier_max_ = std::max(barrier_max_, st.clock);
+          if (barrier_waiters_.size() == ranks_.size()) {
+            const double resume = barrier_max_ + barrier_cost();
+            for (int w : barrier_waiters_) {
+              ranks_[static_cast<std::size_t>(w)].clock = resume;
+              push_event(resume, EvKind::kRankStep, w, 0);
+            }
+            barrier_waiters_.clear();
+            barrier_max_ = -kInf;
+          }
+          return;  // self resumes through the scheduled event too
+        }
+      }
+    }
+    st.done = true;
+    res_.final_times[static_cast<std::size_t>(r)] = st.clock;
+  }
+
+  /// Builds the flow for a send/isend at rank r's current clock, charges
+  /// the sender, enqueues the in-order message entry, and schedules the
+  /// FlowStart.  Returns the flow id.
+  int create_flow(int r, const RankOp& op, bool blocking) {
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    Flow flow;
+    fabric_.path(r, op.peer, &flow.links);
+    double lat = 0.0, bw = kInf;
+    for (int id : flow.links) {
+      const topo::FabricLink& l =
+          fabric_.links()[static_cast<std::size_t>(id)];
+      lat += l.latency;
+      bw = std::min(bw, l.bandwidth);
+    }
+    const double bytes = static_cast<double>(op.bytes);
+    // Nominal (uncontended) wire time prices the packing charge, exactly
+    // as Comm::send/isend derive it from the NetworkModel.
+    const double wire_nominal = lat + (bw == kInf ? 0.0 : bytes / bw);
+    flow.bytes_left = bytes;
+    flow.src = r;
+    flow.dst = op.peer;
+    flow.tag = op.tag;
+    flow.msg_seq = msg_seq_++;
+    flow.blocking = blocking;
+    flow.path_latency = lat;
+    flow.pack_seconds = cfg_.pack_overhead * wire_nominal;
+
+    res_.bytes_sent[static_cast<std::size_t>(r)] += op.bytes;
+    ++res_.messages_sent[static_cast<std::size_t>(r)];
+    ++res_.flows;
+
+    if (!blocking) st.clock += flow.pack_seconds;
+
+    const MsgKey key{op.peer, r, op.tag};
+    std::deque<PendingMsg>& q = queues_[key];
+    q.push_back(PendingMsg{flow.msg_seq, -1.0, -1, 0.0});
+    // A receiver may already be parked on this (dst, src, tag): attach
+    // it to the entry (the queue was empty, so back == front).
+    const auto parked = parked_.find(key);
+    if (parked != parked_.end()) {
+      q.back().waiter = parked->second.first;
+      q.back().waiter_clock = parked->second.second;
+      parked_.erase(parked);
+    }
+
+    flows_.push_back(std::move(flow));
+    const int f = static_cast<int>(flows_.size()) - 1;
+    // The flow must enter the links at the rank's (possibly future)
+    // clock, through the queue, so link occupancy evolves in global time
+    // order.
+    push_event(st.clock, EvKind::kFlowStart, f, 0);
+    return f;
+  }
+
+  void start_flow(int f, double now) {
+    Flow& flow = flows_[static_cast<std::size_t>(f)];
+    flow.active = true;
+    flow.last_update = now;
+    if (flow.links.empty() || flow.bytes_left <= 0.0) {
+      // Degenerate (same-rank or empty) transfer: completes instantly.
+      flow.rate = kInf;
+      ++flow.version;
+      push_event(now, EvKind::kFlowEnd, f, flow.version);
+      return;
+    }
+    for (int id : flow.links)
+      link_flows_[static_cast<std::size_t>(id)].push_back(f);
+    reschedule_touched(flow.links, now);
+  }
+
+  void end_flow(int f, double now) {
+    Flow& flow = flows_[static_cast<std::size_t>(f)];
+    flow.active = false;
+    for (int id : flow.links) {
+      std::vector<int>& lf = link_flows_[static_cast<std::size_t>(id)];
+      lf.erase(std::remove(lf.begin(), lf.end(), f), lf.end());
+    }
+    reschedule_touched(flow.links, now);
+
+    const double arrival =
+        now + flow.path_latency + (flow.blocking ? flow.pack_seconds : 0.0);
+    deliver(flow, arrival);
+    if (flow.blocking) {
+      // Comm::send charges the sender the full modeled message time; the
+      // sender resumes exactly when the message departs.
+      ranks_[static_cast<std::size_t>(flow.src)].clock = arrival;
+      push_event(arrival, EvKind::kRankStep, flow.src, 0);
+    }
+  }
+
+  /// Records the message's arrival and wakes a receiver waiting on it.
+  /// The entry stays queued: the woken rank's pc still points at its
+  /// recv, which re-executes, now finds the front delivered, and pops it
+  /// through the normal path (advancing pc and clock there, once).
+  void deliver(const Flow& flow, double arrival) {
+    const MsgKey key{flow.dst, flow.src, flow.tag};
+    std::deque<PendingMsg>& q = queues_.at(key);
+    for (PendingMsg& m : q) {
+      if (m.seq != flow.msg_seq) continue;
+      m.arrival = arrival;
+      if (m.waiter >= 0) {
+        const int w = m.waiter;
+        m.waiter = -1;
+        push_event(std::max(m.waiter_clock, arrival), EvKind::kRankStep, w,
+                   0);
+      }
+      return;
+    }
+    throw std::logic_error("event engine: flow completed twice");
+  }
+
+  /// After link membership changed at `now`, re-derive every affected
+  /// flow's rate: accrue drained bytes at the old rate, set the new
+  /// equal-share rate, bump the version and push a fresh end event.
+  void reschedule_touched(const std::vector<int>& links, double now) {
+    touched_.clear();
+    for (int id : links)
+      for (int f : link_flows_[static_cast<std::size_t>(id)])
+        touched_.insert(f);
+    for (int f : touched_) {
+      Flow& flow = flows_[static_cast<std::size_t>(f)];
+      flow.bytes_left -= flow.rate * (now - flow.last_update);
+      if (flow.bytes_left < 0.0) flow.bytes_left = 0.0;
+      flow.last_update = now;
+      double rate = kInf;
+      for (int id : flow.links) {
+        const std::size_t lu = static_cast<std::size_t>(id);
+        rate = std::min(rate, fabric_.links()[lu].bandwidth /
+                                  static_cast<double>(
+                                      link_flows_[lu].size()));
+      }
+      flow.rate = rate;
+      ++flow.version;
+      push_event(now + flow.bytes_left / rate, EvKind::kFlowEnd, f,
+                 flow.version);
+    }
+  }
+
+  [[nodiscard]] double barrier_cost() {
+    if (barrier_cost_ < 0.0)
+      barrier_cost_ = collective_seconds(
+          fabric_, static_cast<int>(ranks_.size()), cfg_);
+    return barrier_cost_;
+  }
+
+  const topo::ClusterFabric& fabric_;
+  const std::vector<RankProgram>& programs_;
+  EngineConfig cfg_;
+
+  std::vector<RankState> ranks_;
+  std::vector<Flow> flows_;
+  std::vector<std::vector<int>> link_flows_;  ///< [link] active flow ids
+  std::set<int> touched_;                     ///< scratch for reschedules
+  std::map<MsgKey, std::deque<PendingMsg>> queues_;
+  std::map<MsgKey, std::pair<int, double>> parked_;  ///< rank, clock
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t msg_seq_ = 0;
+  std::vector<int> barrier_waiters_;
+  double barrier_max_ = -kInf;
+  double barrier_cost_ = -1.0;
+
+  EngineResult res_;
+};
+
+}  // namespace
+
+double EngineResult::max_time() const {
+  double t = 0.0;
+  for (double v : final_times) t = std::max(t, v);
+  return t;
+}
+
+EngineResult run_programs(const topo::ClusterFabric& fabric,
+                          const std::vector<RankProgram>& programs,
+                          const EngineConfig& cfg) {
+  return EngineImpl(fabric, programs, cfg).run();
+}
+
+double collective_seconds(const topo::ClusterFabric& fabric, int ranks,
+                          const EngineConfig& cfg) {
+  if (ranks > fabric.ranks())
+    throw std::invalid_argument(
+        "event::collective_seconds: more participants than fabric ranks");
+  double total = 0.0;
+  for (long long step = 1; step < ranks; step *= 2) {
+    // Dissemination stage k: rank i signals (i + 2^k) mod N.  The stage
+    // completes when its slowest path does.
+    double stage = 0.0;
+    for (int i = 0; i < ranks; ++i) {
+      const int peer = static_cast<int>((i + step) % ranks);
+      stage = std::max(stage, fabric.path_latency(i, peer) +
+                                  cfg.collective_bytes /
+                                      fabric.path_bandwidth(i, peer));
+    }
+    total += stage;
+  }
+  return total;
+}
+
+topo::FabricParams fabric_params_from(const NetworkModel& m) {
+  topo::FabricParams p;
+  p.link_bandwidth = m.bandwidth;
+  p.link_latency = m.latency / 2.0;
+  return p;
+}
+
+EngineConfig engine_config_from(const NetworkModel& m) {
+  EngineConfig cfg;
+  cfg.pack_overhead = m.pack_overhead;
+  return cfg;
+}
+
+}  // namespace tb::simnet::event

@@ -1,0 +1,86 @@
+// Discrete-event backend of the simulated cluster.
+//
+// Engine replays one simnet::RankProgram per rank over a
+// topo::ClusterFabric without spawning a single thread: rank state
+// machines advance their own clocks, messages become *flows* that drain
+// through the fabric's links, and a time-ordered event queue (gacspp's
+// CScheduleable loop, SNIPPETS.md) moves the global clock.  Each link
+// splits its bandwidth equally among the flows crossing it and a flow
+// runs at the minimum share along its path — the fluid-flow
+// approximation of max-min fairness, exact whenever each flow's
+// bottleneck is its most-contended link (two transfers on one link each
+// see half the bandwidth; the unit tests pin this down).  Rate changes
+// use lazy invalidation: every change bumps the flow's version and
+// pushes a fresh completion event, stale ones are skipped on pop.
+//
+// Timing contract with the thread-backed World (the executing oracle):
+// on an uncontended path with total latency L and bottleneck bandwidth W
+// the engine charges a blocking send exactly
+// (L + B/W) * (1 + pack_overhead) and an isend exactly the packing part
+// pack_overhead * (L + B/W) — the same closed forms Comm::send/isend
+// charge, so 8-rank epoch times agree to floating-point noise
+// (tests/simnet/test_event_engine.cpp holds them to 1e-9).  Under
+// contention the drain time grows with the link shares, which is the
+// whole point of the backend.
+//
+// Collectives are priced over the actual fabric: collective_seconds()
+// walks the dissemination log-tree (stage k: rank i -> (i + 2^k) mod N)
+// and sums per-stage maxima of path latency + payload time, replacing
+// the topology-blind NetworkModel::collective_seconds closed form, which
+// stays as the thread-backed fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/network_model.hpp"
+#include "simnet/rank_program.hpp"
+#include "topo/fabric.hpp"
+
+namespace tb::simnet::event {
+
+struct EngineConfig {
+  /// Fraction of (latency + bytes/bandwidth) additionally charged for
+  /// buffer copies, as NetworkModel::pack_overhead.
+  double pack_overhead = 1.0;
+  /// Payload bytes assumed for one collective-stage message.
+  double collective_bytes = 8.0;
+};
+
+/// Replay outcome plus engine statistics.
+struct EngineResult {
+  std::vector<double> final_times;  ///< [rank] clock after the last op
+  std::vector<std::vector<double>> epoch_times;  ///< [rank][mark]
+  std::vector<std::uint64_t> bytes_sent;         ///< [rank]
+  std::vector<std::uint64_t> messages_sent;      ///< [rank]
+  std::uint64_t events = 0;  ///< events processed (incl. stale skips)
+  std::uint64_t flows = 0;   ///< transfers routed through the fabric
+
+  /// Maximum final clock over all ranks.
+  [[nodiscard]] double max_time() const;
+};
+
+/// Runs `programs` (one per fabric rank) to completion and returns the
+/// per-rank clocks.  Throws if the programs deadlock (a recv whose
+/// matching send never happens) — with simulated ranks that is a bug in
+/// the program, not a wait state.
+EngineResult run_programs(const topo::ClusterFabric& fabric,
+                          const std::vector<RankProgram>& programs,
+                          const EngineConfig& cfg = {});
+
+/// Link-accurate cost of one zero-payload synchronizing collective over
+/// `ranks` participants of the fabric: the dissemination log-tree, each
+/// stage charged its slowest participant's path.
+[[nodiscard]] double collective_seconds(const topo::ClusterFabric& fabric,
+                                        int ranks,
+                                        const EngineConfig& cfg = {});
+
+/// Fabric parameters whose non-blocking fat-tree reproduces `m` exactly:
+/// two hops of m.latency/2 at m.bandwidth.  The agreement tests build
+/// their fabrics from this.
+[[nodiscard]] topo::FabricParams fabric_params_from(const NetworkModel& m);
+
+/// Engine configuration matching `m`'s packing charge.
+[[nodiscard]] EngineConfig engine_config_from(const NetworkModel& m);
+
+}  // namespace tb::simnet::event

@@ -29,7 +29,12 @@ struct NetworkModel {
   }
 
   /// Cost of a synchronizing collective over `ranks` participants
-  /// (log-tree of zero-payload messages).
+  /// (log-tree of zero-payload messages) — the *thread-backed fallback*:
+  /// it charges bare latency per stage regardless of which wires the
+  /// tree actually crosses.  The discrete-event backend prices the same
+  /// log-tree over the fabric's real links instead
+  /// (simnet::event::collective_seconds), where torus hop counts and
+  /// oversubscribed uplinks make the stages topology-dependent.
   [[nodiscard]] double collective_seconds(int ranks) const {
     int stages = 0;
     for (int r = 1; r < ranks; r *= 2) ++stages;

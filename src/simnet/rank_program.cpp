@@ -1,0 +1,67 @@
+#include "simnet/rank_program.hpp"
+
+#include <stdexcept>
+
+namespace tb::simnet {
+
+namespace {
+
+std::size_t payload_doubles(std::size_t bytes) {
+  if (bytes % sizeof(double) != 0)
+    throw std::invalid_argument(
+        "replay_on_world: payload bytes must be a multiple of 8");
+  return bytes / sizeof(double);
+}
+
+}  // namespace
+
+ReplayResult replay_on_world(World& world,
+                             const std::vector<RankProgram>& programs) {
+  if (static_cast<int>(programs.size()) != world.size())
+    throw std::invalid_argument(
+        "replay_on_world: one program per world rank required");
+
+  ReplayResult res;
+  res.final_times.assign(programs.size(), 0.0);
+  res.epoch_times.assign(programs.size(), {});
+  res.bytes_sent.assign(programs.size(), 0);
+  res.messages_sent.assign(programs.size(), 0);
+
+  world.run([&](Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    // Only this rank's thread touches res.*[r]; the outer vectors were
+    // sized before run(), so no reallocation races.
+    std::vector<double> buf;
+    for (const RankOp& op : programs[r].ops) {
+      switch (op.kind) {
+        case RankOpKind::kCompute:
+          comm.compute(op.seconds);
+          break;
+        case RankOpKind::kSend:
+          buf.assign(payload_doubles(op.bytes), 0.0);
+          comm.send(op.peer, op.tag, buf);
+          break;
+        case RankOpKind::kIsend:
+          buf.assign(payload_doubles(op.bytes), 0.0);
+          comm.isend(op.peer, op.tag, buf);
+          break;
+        case RankOpKind::kRecv:
+          buf.assign(payload_doubles(op.bytes), 0.0);
+          comm.recv(op.peer, op.tag, buf);
+          break;
+        case RankOpKind::kEpochMark:
+          res.epoch_times[r].push_back(comm.sim_time());
+          break;
+        case RankOpKind::kBarrier:
+          comm.barrier();
+          break;
+      }
+    }
+    res.final_times[r] = comm.sim_time();
+    res.bytes_sent[r] = comm.bytes_sent();
+    res.messages_sent[r] = comm.messages_sent();
+  });
+  return res;
+}
+
+}  // namespace tb::simnet

@@ -1,0 +1,235 @@
+#include "topo/fabric.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace tb::topo {
+
+ClusterFabric::ClusterFabric(std::string kind, int ranks, int ppn)
+    : kind_(std::move(kind)), ranks_(ranks), ppn_(ppn) {
+  if (ranks < 1)
+    throw std::invalid_argument("ClusterFabric: ranks must be >= 1");
+  if (ppn < 1)
+    throw std::invalid_argument("ClusterFabric: ppn must be >= 1");
+}
+
+int ClusterFabric::add_link(double bandwidth, double latency) {
+  if (bandwidth <= 0.0)
+    throw std::invalid_argument("ClusterFabric: link bandwidth must be > 0");
+  links_.push_back(FabricLink{bandwidth, latency});
+  return static_cast<int>(links_.size()) - 1;
+}
+
+double ClusterFabric::path_latency(int src_rank, int dst_rank) const {
+  std::vector<int> p;
+  path(src_rank, dst_rank, &p);
+  double lat = 0.0;
+  for (int id : p) lat += links_[static_cast<std::size_t>(id)].latency;
+  return lat;
+}
+
+double ClusterFabric::path_bandwidth(int src_rank, int dst_rank) const {
+  std::vector<int> p;
+  path(src_rank, dst_rank, &p);
+  double bw = std::numeric_limits<double>::infinity();
+  for (int id : p)
+    bw = std::min(bw, links_[static_cast<std::size_t>(id)].bandwidth);
+  return bw;
+}
+
+std::array<int, 3> balanced_dims3(int n) {
+  if (n < 1) throw std::invalid_argument("balanced_dims3: n must be >= 1");
+  std::array<int, 3> best{1, 1, n};
+  for (int a = 1; a * a * a <= n; ++a) {
+    if (n % a != 0) continue;
+    const int m = n / a;
+    for (int b = a; b * b <= m; ++b) {
+      if (m % b != 0) continue;
+      const int c = m / b;
+      if (c - a < best[2] - best[0]) best = {a, b, c};
+    }
+  }
+  return best;
+}
+
+namespace {
+
+int node_count(int ranks, int ppn) { return (ranks + ppn - 1) / ppn; }
+
+/// Shared base for fabrics whose nodes carry a shm link: paths between
+/// ranks of one node collapse to that single link.
+class NodeFabric : public ClusterFabric {
+ public:
+  NodeFabric(std::string kind, int ranks, const FabricParams& params)
+      : ClusterFabric(std::move(kind), ranks, params.ppn) {
+    if (params.ppn > 1) {
+      shm_.reserve(static_cast<std::size_t>(node_count(ranks, params.ppn)));
+      for (int n = 0; n < node_count(ranks, params.ppn); ++n)
+        shm_.push_back(
+            add_link(params.shm_bandwidth, params.shm_latency));
+    }
+  }
+
+ protected:
+  /// Resolves same-node routes; returns true if handled.
+  bool same_node_path(int src_rank, int dst_rank,
+                      std::vector<int>* out) const {
+    out->clear();
+    if (src_rank == dst_rank) return true;
+    if (node_of(src_rank) != node_of(dst_rank)) return false;
+    out->push_back(shm_.at(static_cast<std::size_t>(node_of(src_rank))));
+    return true;
+  }
+
+ private:
+  std::vector<int> shm_;
+};
+
+/// Non-blocking fat-tree: per-node up and down links to an ideal core
+/// with full bisection bandwidth — no two node pairs share wire, the
+/// paper's QDR fabric.
+class FatTreeFabric final : public NodeFabric {
+ public:
+  FatTreeFabric(int ranks, const FabricParams& params)
+      : NodeFabric("fat-tree", ranks, params) {
+    const int nodes = node_count(ranks, params.ppn);
+    up_.reserve(static_cast<std::size_t>(nodes));
+    down_.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      up_.push_back(add_link(params.link_bandwidth, params.link_latency));
+      down_.push_back(add_link(params.link_bandwidth, params.link_latency));
+    }
+  }
+
+  void path(int src_rank, int dst_rank, std::vector<int>* out) const final {
+    if (same_node_path(src_rank, dst_rank, out)) return;
+    out->push_back(up_.at(static_cast<std::size_t>(node_of(src_rank))));
+    out->push_back(down_.at(static_cast<std::size_t>(node_of(dst_rank))));
+  }
+
+ private:
+  std::vector<int> up_, down_;
+};
+
+/// 3-D torus of nodes, six directed links per node, dimension-ordered
+/// routing that takes the shorter wrap direction per dimension.
+class TorusFabric final : public NodeFabric {
+ public:
+  TorusFabric(int ranks, const FabricParams& params)
+      : NodeFabric("torus", ranks, params) {
+    const int nodes = node_count(ranks, params.ppn);
+    dims_ = params.torus_dims;
+    if (dims_[0] < 1 || dims_[1] < 1 || dims_[2] < 1)
+      dims_ = balanced_dims3(nodes);
+    if (dims_[0] * dims_[1] * dims_[2] != nodes)
+      throw std::invalid_argument(
+          "TorusFabric: torus_dims product != node count");
+    // Link id layout: node * 6 + (dim * 2 + direction), direction
+    // 0 = toward -dim, 1 = toward +dim.
+    wire_base_ = static_cast<int>(links().size());
+    for (int n = 0; n < nodes; ++n)
+      for (int l = 0; l < 6; ++l)
+        add_link(params.link_bandwidth, params.link_latency);
+  }
+
+  void path(int src_rank, int dst_rank, std::vector<int>* out) const final {
+    if (same_node_path(src_rank, dst_rank, out)) return;
+    std::array<int, 3> c = coords(node_of(src_rank));
+    const std::array<int, 3> t = coords(node_of(dst_rank));
+    for (int d = 0; d < 3; ++d) {
+      const int size = dims_[static_cast<std::size_t>(d)];
+      int delta = t[static_cast<std::size_t>(d)] -
+                  c[static_cast<std::size_t>(d)];
+      // Shorter wrap direction; ties go to +.
+      if (delta > size / 2) delta -= size;
+      if (delta < -(size - 1) / 2) delta += size;
+      const int step = delta > 0 ? 1 : -1;
+      for (int h = 0; h != delta; h += step) {
+        out->push_back(wire_base_ + node_at(c) * 6 + d * 2 +
+                       (step > 0 ? 1 : 0));
+        c[static_cast<std::size_t>(d)] =
+            (c[static_cast<std::size_t>(d)] + step + size) % size;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+
+ private:
+  [[nodiscard]] std::array<int, 3> coords(int node) const {
+    return {node % dims_[0], (node / dims_[0]) % dims_[1],
+            node / (dims_[0] * dims_[1])};
+  }
+  [[nodiscard]] int node_at(const std::array<int, 3>& c) const {
+    return c[0] + dims_[0] * (c[1] + dims_[1] * c[2]);
+  }
+
+  std::array<int, 3> dims_{};
+  int wire_base_ = 0;
+};
+
+/// Two-tier oversubscribed cloud network: full-rate NICs feeding
+/// per-rack ToR up/down links that carry only rack_size/oversubscription
+/// NICs' worth of bandwidth, with extra latency on the rack tier.
+class CloudFabric final : public NodeFabric {
+ public:
+  CloudFabric(int ranks, const FabricParams& params)
+      : NodeFabric("cloud", ranks, params), rack_size_(params.rack_size) {
+    if (rack_size_ < 1)
+      throw std::invalid_argument("CloudFabric: rack_size must be >= 1");
+    if (params.oversubscription < 1.0)
+      throw std::invalid_argument(
+          "CloudFabric: oversubscription must be >= 1");
+    const int nodes = node_count(ranks, params.ppn);
+    const int racks = (nodes + rack_size_ - 1) / rack_size_;
+    const double tor_bw = static_cast<double>(rack_size_) *
+                          params.link_bandwidth / params.oversubscription;
+    for (int n = 0; n < nodes; ++n) {
+      nic_up_.push_back(add_link(params.link_bandwidth, params.link_latency));
+      nic_down_.push_back(
+          add_link(params.link_bandwidth, params.link_latency));
+    }
+    for (int r = 0; r < racks; ++r) {
+      tor_up_.push_back(add_link(tor_bw, params.rack_latency / 2.0));
+      tor_down_.push_back(add_link(tor_bw, params.rack_latency / 2.0));
+    }
+  }
+
+  void path(int src_rank, int dst_rank, std::vector<int>* out) const final {
+    if (same_node_path(src_rank, dst_rank, out)) return;
+    const int sn = node_of(src_rank), dn = node_of(dst_rank);
+    out->push_back(nic_up_.at(static_cast<std::size_t>(sn)));
+    const int sr = sn / rack_size_, dr = dn / rack_size_;
+    if (sr != dr) {
+      out->push_back(tor_up_.at(static_cast<std::size_t>(sr)));
+      out->push_back(tor_down_.at(static_cast<std::size_t>(dr)));
+    }
+    out->push_back(nic_down_.at(static_cast<std::size_t>(dn)));
+  }
+
+ private:
+  int rack_size_;
+  std::vector<int> nic_up_, nic_down_, tor_up_, tor_down_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& fabric_kinds() {
+  static const std::vector<std::string> kinds{"fat-tree", "torus", "cloud"};
+  return kinds;
+}
+
+std::unique_ptr<ClusterFabric> make_fabric(const std::string& kind,
+                                           int ranks,
+                                           const FabricParams& params) {
+  if (kind == "fat-tree")
+    return std::make_unique<FatTreeFabric>(ranks, params);
+  if (kind == "torus") return std::make_unique<TorusFabric>(ranks, params);
+  if (kind == "cloud") return std::make_unique<CloudFabric>(ranks, params);
+  std::string msg = "make_fabric: unknown kind \"" + kind + "\" (one of";
+  for (const std::string& k : fabric_kinds()) msg += " " + k;
+  throw std::invalid_argument(msg + ")");
+}
+
+}  // namespace tb::topo

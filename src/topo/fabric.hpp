@@ -1,0 +1,113 @@
+// Cluster fabrics: the link-level network topologies the discrete-event
+// simnet backend routes messages over (gacspp's CNetworkLink graph,
+// SNIPPETS.md, re-grown for rank-to-rank halo traffic).
+//
+// A ClusterFabric is a directed multigraph of FabricLinks plus a routing
+// function: path(src_rank, dst_rank) yields the ordered link ids a
+// message traverses.  The event engine shares each link's bandwidth
+// max-min-fairly among the flows crossing it and sums the per-hop
+// latencies, so contention falls out of the topology instead of being a
+// closed-form guess.
+//
+// Three builders cover the scaling stories:
+//  * fat-tree — the paper's non-blocking QDR fabric: every node has a
+//    dedicated up and down link to an ideal core, so distinct node pairs
+//    never share wire.  Two hops of half the NetworkModel latency each,
+//    which is what makes an uncontended fat-tree run agree with the
+//    thread-backed World to FP noise.
+//  * torus — 3-D torus of nodes (near-cubic unless dims are forced),
+//    six directed links per node, dimension-ordered shortest-wrap
+//    routing; neighbours at distance > 1 contend for the same wires.
+//  * cloud — oversubscribed two-tier ethernet: full-bandwidth NICs under
+//    per-rack ToR uplinks carrying rack_size/oversubscription times less
+//    than the sum of their tenants, higher inter-rack latency.
+//
+// With ppn > 1, consecutive ranks share a node and same-node traffic
+// rides a per-node shared-memory link instead of the NIC.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tb::topo {
+
+/// One directed wire of the fabric.
+struct FabricLink {
+  double bandwidth = 0.0;  ///< bytes/s, shared among concurrent flows
+  double latency = 0.0;    ///< seconds added per traversal
+};
+
+/// Knobs of the built-in fabrics.  The defaults reproduce the
+/// simnet::NetworkModel QDR-IB numbers over a fat-tree: two 0.9 us hops
+/// = the model's 1.8 us end-to-end latency at 3.2 GB/s.
+struct FabricParams {
+  double link_bandwidth = 3.2e9;  ///< bytes/s of a node's NIC / torus wire
+  double link_latency = 0.9e-6;   ///< seconds per hop
+  int ppn = 1;                    ///< ranks per node
+  /// Same-node transfers (ppn > 1) ride a per-node shm link.
+  double shm_bandwidth = 6.4e9;
+  double shm_latency = 0.3e-6;
+  /// torus: node-grid dims; any zero component means "derive near-cubic".
+  std::array<int, 3> torus_dims{0, 0, 0};
+  /// cloud: nodes per rack and ToR uplink oversubscription factor
+  /// (uplink bandwidth = rack_size * link_bandwidth / oversubscription).
+  int rack_size = 32;
+  double oversubscription = 4.0;
+  double rack_latency = 5.0e-6;  ///< extra seconds via the rack tier
+};
+
+/// Directed-link network with rank-to-rank routing.  Subclass to model a
+/// custom topology: allocate links with add_link() and implement path().
+class ClusterFabric {
+ public:
+  virtual ~ClusterFabric() = default;
+
+  ClusterFabric(const ClusterFabric&) = delete;
+  ClusterFabric& operator=(const ClusterFabric&) = delete;
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+  [[nodiscard]] int ranks_per_node() const { return ppn_; }
+  [[nodiscard]] int node_of(int rank) const { return rank / ppn_; }
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  [[nodiscard]] const std::vector<FabricLink>& links() const {
+    return links_;
+  }
+
+  /// Appends the ordered link ids of the route src_rank -> dst_rank to
+  /// *out (cleared first).  An empty path (src == dst) is legal and
+  /// costs nothing.
+  virtual void path(int src_rank, int dst_rank,
+                    std::vector<int>* out) const = 0;
+
+  /// Sum of per-hop latencies along path(src, dst).
+  [[nodiscard]] double path_latency(int src_rank, int dst_rank) const;
+
+  /// Minimum link bandwidth along path(src, dst) — the path's nominal
+  /// (uncontended) rate.  Infinite for an empty path.
+  [[nodiscard]] double path_bandwidth(int src_rank, int dst_rank) const;
+
+ protected:
+  ClusterFabric(std::string kind, int ranks, int ppn);
+
+  int add_link(double bandwidth, double latency);
+
+ private:
+  std::string kind_;
+  int ranks_;
+  int ppn_;
+  std::vector<FabricLink> links_;
+};
+
+/// Near-cubic factorization a*b*c = n with a <= b <= c and c - a
+/// minimal — the torus builder's default node grid.
+[[nodiscard]] std::array<int, 3> balanced_dims3(int n);
+
+/// Kinds make_fabric accepts: {"fat-tree", "torus", "cloud"}.
+[[nodiscard]] const std::vector<std::string>& fabric_kinds();
+
+[[nodiscard]] std::unique_ptr<ClusterFabric> make_fabric(
+    const std::string& kind, int ranks, const FabricParams& params = {});
+
+}  // namespace tb::topo

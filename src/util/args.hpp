@@ -126,6 +126,11 @@ struct StandardFlags {
   std::string variant;   ///< --variant: registry name, "" = example default
   std::string op;        ///< --operator: registry name, "" = example default
   std::string scenario;  ///< --scenario <file>: delegate to the engine
+  /// --topology: cluster fabric of the modeled scaling runs.  Raw string
+  /// for the same reason as variant/op — topo::make_fabric validates it;
+  /// the default is the paper's non-blocking fat-tree.
+  std::string topology = "fat-tree";
+  int ranks = 0;  ///< --ranks: modeled rank count (0 = example default)
 
   void parse(const Args& args) {
     n = static_cast<int>(args.get_int("n", n));
@@ -137,6 +142,8 @@ struct StandardFlags {
     variant = args.get("variant", variant);
     op = args.get("operator", op);
     scenario = args.get("scenario", scenario);
+    topology = args.get("topology", topology);
+    ranks = static_cast<int>(args.get_int("ranks", ranks));
   }
 };
 

@@ -1,0 +1,293 @@
+// Tests for the discrete-event cluster backend: agreement with the
+// thread-backed World (the executing oracle), max-min fair link
+// sharing, link-accurate collectives, and engine invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/reference.hpp"
+#include "dist/rank_program.hpp"
+#include "dist/registry.hpp"
+#include "simnet/comm.hpp"
+#include "simnet/event/engine.hpp"
+#include "simnet/network_model.hpp"
+#include "simnet/rank_program.hpp"
+#include "topo/fabric.hpp"
+
+namespace tb::simnet {
+namespace {
+
+std::unique_ptr<topo::ClusterFabric> fat_tree_for(const NetworkModel& net,
+                                                  int ranks) {
+  return topo::make_fabric("fat-tree", ranks,
+                           event::fabric_params_from(net));
+}
+
+// ---- backend agreement ------------------------------------------------
+
+// The same 2x2x2 halo-exchange schedule through the thread-backed World
+// (replayed op by op with real payload buffers) and through the event
+// engine must produce the same per-rank, per-epoch simulated clocks: on
+// the uncontended non-blocking fat tree both backends charge the same
+// closed forms, so the difference is floating-point rounding only.
+TEST(EventEngine, AgreesWithThreadBackedWorldOn2x2x2) {
+  dist::HaloProgramSpec spec;
+  spec.global_n = {34, 34, 34};  // 32^3 interior: divides 2x2x2 evenly
+  spec.proc_dims = {2, 2, 2};
+  spec.halo = 2;
+  spec.fields = 1;
+  spec.proc_lups = 2.0e9;
+  spec.epochs = 3;
+  const std::vector<RankProgram> programs = dist::build_halo_programs(spec);
+
+  const NetworkModel net;
+  World world(8, net);
+  const ReplayResult threaded = replay_on_world(world, programs);
+  const event::EngineResult evented = event::run_programs(
+      *fat_tree_for(net, 8), programs, event::engine_config_from(net));
+
+  ASSERT_EQ(threaded.final_times.size(), 8u);
+  ASSERT_EQ(evented.final_times.size(), 8u);
+  for (int r = 0; r < 8; ++r) {
+    const auto ru = static_cast<std::size_t>(r);
+    EXPECT_NEAR(evented.final_times[ru], threaded.final_times[ru], 1e-9)
+        << "rank " << r;
+    ASSERT_EQ(evented.epoch_times[ru].size(), 3u);
+    ASSERT_EQ(threaded.epoch_times[ru].size(), 3u);
+    for (std::size_t e = 0; e < 3; ++e)
+      EXPECT_NEAR(evented.epoch_times[ru][e], threaded.epoch_times[ru][e],
+                  1e-9)
+          << "rank " << r << " epoch " << e;
+    // The modeled traffic is identical, not just close.
+    EXPECT_EQ(evented.bytes_sent[ru], threaded.bytes_sent[ru]);
+    EXPECT_EQ(evented.messages_sent[ru], threaded.messages_sent[ru]);
+  }
+}
+
+// Full loop: the *executing* distributed solver (real grids, real halo
+// payloads) on the thread-backed World against the rank programs built
+// from the same dist::Decomposition on the event engine.  Epoch times
+// must agree within 1% (they agree to rounding; 1% is the acceptance
+// bound).
+TEST(EventEngine, MatchesExecutingDistributedSolver) {
+  const int n = 34;
+  const int epochs = 2;
+  dist::DistConfig cfg;
+  cfg.pipeline.teams = 1;
+  cfg.pipeline.team_size = 2;
+  cfg.pipeline.steps_per_thread = 2;
+  cfg.pipeline.block = {16, 8, 8};
+  cfg.pipeline.du = 3;
+  cfg.proc_dims = {2, 2, 2};
+  cfg.proc_lups = 2.0e9;
+  const int h = cfg.pipeline.levels_per_sweep();
+
+  core::Grid3 initial(n, n, n);
+  core::fill_test_pattern(initial);
+
+  std::vector<double> executed(8, 0.0);
+  std::mutex m;
+  World world(8);
+  world.run([&](Comm& comm) {
+    auto solver = dist::make_distributed("jacobi", comm, cfg, initial);
+    const dist::DistStats st = solver->advance(epochs);
+    const std::scoped_lock lock(m);
+    executed[static_cast<std::size_t>(comm.rank())] = st.sim_seconds;
+  });
+
+  dist::HaloProgramSpec spec;
+  spec.global_n = {n, n, n};
+  spec.proc_dims = {2, 2, 2};
+  spec.halo = h;
+  spec.fields = 1;
+  spec.proc_lups = cfg.proc_lups;
+  spec.epochs = epochs;
+  const event::EngineResult modeled =
+      event::run_programs(*fat_tree_for(world.model(), 8),
+                          dist::build_halo_programs(spec),
+                          event::engine_config_from(world.model()));
+
+  for (int r = 0; r < 8; ++r) {
+    const auto ru = static_cast<std::size_t>(r);
+    ASSERT_GT(executed[ru], 0.0);
+    EXPECT_NEAR(modeled.final_times[ru], executed[ru], 0.01 * executed[ru])
+        << "rank " << r;
+  }
+}
+
+// ---- max-min fair link sharing ----------------------------------------
+
+// Two transfers crossing one link concurrently each see half the
+// bandwidth: both drain in 2B/W instead of B/W.
+TEST(EventEngine, TwoFlowsOnOneLinkEachSeeHalfBandwidth) {
+  topo::FabricParams p;
+  p.link_bandwidth = 1.0e9;
+  p.link_latency = 0.0;
+  event::EngineConfig cfg;
+  cfg.pack_overhead = 0.0;
+  const std::size_t bytes = 1'000'000'000;  // 1 s alone
+
+  // Baseline: one sender, one receiver.
+  {
+    std::vector<RankProgram> progs(3);
+    progs[1].ops = {RankOp::isend(0, 0, bytes)};
+    progs[0].ops = {RankOp::recv(1, 0, bytes)};
+    const event::EngineResult r = event::run_programs(
+        *topo::make_fabric("fat-tree", 3, p), progs, cfg);
+    EXPECT_NEAR(r.final_times[0], 1.0, 1e-12);
+  }
+
+  // Contended: ranks 1 and 2 both send to rank 0 — the down-link into
+  // rank 0's node is shared, each flow runs at W/2.
+  {
+    std::vector<RankProgram> progs(3);
+    progs[1].ops = {RankOp::isend(0, 0, bytes)};
+    progs[2].ops = {RankOp::isend(0, 0, bytes)};
+    progs[0].ops = {RankOp::recv(1, 0, bytes), RankOp::recv(2, 0, bytes)};
+    const event::EngineResult r = event::run_programs(
+        *topo::make_fabric("fat-tree", 3, p), progs, cfg);
+    EXPECT_NEAR(r.final_times[0], 2.0, 1e-12);
+  }
+}
+
+// Staggered sharing is work-conserving: flow A alone for 1 s, then A and
+// B at half rate each until A completes, then B back at full rate.
+TEST(EventEngine, StaggeredFlowsShareAndRecoverBandwidth) {
+  topo::FabricParams p;
+  p.link_bandwidth = 1.0e9;
+  p.link_latency = 0.0;
+  event::EngineConfig cfg;
+  cfg.pack_overhead = 0.0;
+  const std::size_t bytes = 2'000'000'000;  // 2 s alone
+
+  std::vector<RankProgram> progs(3);
+  progs[1].ops = {RankOp::isend(0, 0, bytes)};
+  progs[2].ops = {RankOp::compute(1.0), RankOp::isend(0, 0, bytes)};
+  progs[0].ops = {RankOp::recv(1, 0, bytes), RankOp::recv(2, 0, bytes)};
+  const event::EngineResult r = event::run_programs(
+      *topo::make_fabric("fat-tree", 3, p), progs, cfg);
+
+  // A: 1 GB alone in [0,1], 1 GB at W/2 in [1,3] -> arrives t=3.
+  // B: 1 GB at W/2 in [1,3], 1 GB alone in [3,4] -> arrives t=4;
+  // rank 0's second recv completes then.
+  EXPECT_NEAR(r.final_times[0], 4.0, 1e-12);
+}
+
+// An uncontended blocking send charges the sender the full modeled
+// message time (L + B/W) * (1 + pack_overhead) — the Comm::send closed
+// form.
+TEST(EventEngine, UncontendedBlockingSendMatchesClosedForm) {
+  const NetworkModel net;
+  std::vector<RankProgram> progs(2);
+  const std::size_t bytes = 64 * 1024;
+  progs[0].ops = {RankOp::send(1, 0, bytes)};
+  progs[1].ops = {RankOp::recv(0, 0, bytes)};
+  const event::EngineResult r =
+      event::run_programs(*fat_tree_for(net, 2), progs,
+                          event::engine_config_from(net));
+  EXPECT_NEAR(r.final_times[0], net.message_seconds(bytes), 1e-15);
+}
+
+// ---- topology effects -------------------------------------------------
+
+// The oversubscribed cloud fabric cannot beat the non-blocking fat tree
+// on the same program, and a torus embedding a matching process grid
+// beats it: nearest-neighbour halos cross one torus wire (0.9 us)
+// instead of the fat tree's up+down pair (1.8 us), contention-free in
+// both cases.
+TEST(EventEngine, TopologiesOrderAsExpected) {
+  dist::HaloProgramSpec spec;
+  spec.proc_dims = {4, 4, 4};
+  spec.global_n = {4 * 16 + 2, 4 * 16 + 2, 4 * 16 + 2};
+  spec.halo = 1;
+  spec.epochs = 2;
+  const std::vector<RankProgram> programs = dist::build_halo_programs(spec);
+
+  topo::FabricParams p;
+  p.torus_dims = {4, 4, 4};
+  const double fat =
+      event::run_programs(*topo::make_fabric("fat-tree", 64, p), programs)
+          .max_time();
+  const double torus =
+      event::run_programs(*topo::make_fabric("torus", 64, p), programs)
+          .max_time();
+  topo::FabricParams cloud_p = p;
+  cloud_p.rack_size = 16;
+  cloud_p.oversubscription = 8.0;
+  const double cloud =
+      event::run_programs(*topo::make_fabric("cloud", 64, cloud_p), programs)
+          .max_time();
+
+  EXPECT_GT(torus, 0.0);
+  EXPECT_LT(torus, fat);
+  EXPECT_GT(cloud, fat);
+}
+
+// ---- collectives ------------------------------------------------------
+
+// With zero payload the link-accurate dissemination tree over the
+// fat tree built from a NetworkModel collapses to the thread-backed
+// closed form latency * ceil(log2 N).
+TEST(EventEngine, CollectiveMatchesClosedFormOnFatTree) {
+  const NetworkModel net;
+  event::EngineConfig cfg = event::engine_config_from(net);
+  cfg.collective_bytes = 0.0;
+  for (int ranks : {2, 3, 5, 8, 16}) {
+    const double link_accurate =
+        event::collective_seconds(*fat_tree_for(net, ranks), ranks, cfg);
+    EXPECT_NEAR(link_accurate, net.collective_seconds(ranks),
+                1e-15 * static_cast<double>(ranks))
+        << ranks << " ranks";
+  }
+}
+
+// The barrier op routes through the link-accurate collective: a lone
+// barrier costs exactly collective_seconds of the fabric.
+TEST(EventEngine, BarrierChargesLinkAccurateCollective) {
+  const NetworkModel net;
+  std::vector<RankProgram> progs(4);
+  for (RankProgram& prog : progs) prog.ops = {RankOp::barrier()};
+  const auto fabric = fat_tree_for(net, 4);
+  const event::EngineConfig cfg = event::engine_config_from(net);
+  const event::EngineResult r = event::run_programs(*fabric, progs, cfg);
+  const double expected = event::collective_seconds(*fabric, 4, cfg);
+  for (double t : r.final_times) EXPECT_DOUBLE_EQ(t, expected);
+}
+
+// ---- invariants -------------------------------------------------------
+
+TEST(EventEngine, ReplayIsDeterministic) {
+  dist::HaloProgramSpec spec;
+  spec.proc_dims = {3, 2, 1};
+  spec.global_n = {3 * 8 + 2, 2 * 8 + 2, 8 + 2};
+  spec.epochs = 2;
+  const std::vector<RankProgram> programs = dist::build_halo_programs(spec);
+  const auto fabric = topo::make_fabric("cloud", 6, {});
+  const event::EngineResult a = event::run_programs(*fabric, programs);
+  const event::EngineResult b = event::run_programs(*fabric, programs);
+  EXPECT_EQ(a.final_times, b.final_times);  // bitwise, not approximate
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.flows, b.flows);
+}
+
+TEST(EventEngine, ReceiveWithoutSenderThrowsDeadlock) {
+  std::vector<RankProgram> progs(2);
+  progs[0].ops = {RankOp::recv(1, 0, 8)};  // rank 1 never sends
+  EXPECT_THROW(
+      event::run_programs(*topo::make_fabric("fat-tree", 2, {}), progs),
+      std::runtime_error);
+}
+
+TEST(EventEngine, RejectsProgramCountMismatch) {
+  const std::vector<RankProgram> progs(3);
+  EXPECT_THROW(
+      event::run_programs(*topo::make_fabric("fat-tree", 2, {}), progs),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tb::simnet
